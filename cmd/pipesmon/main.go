@@ -1,0 +1,83 @@
+// pipesmon is the textual counterpart of the paper's performance monitor
+// (Fig. 3): it runs the traffic scenario on the prototype DSMS with every
+// query operator decorated by the secondary-metadata framework and
+// renders a periodic dashboard of rates, selectivities, memory and queue
+// metadata while the workload is live.
+//
+// Usage:
+//
+//	pipesmon [-readings 200000] [-interval 250ms] [-workers 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pipes"
+	"pipes/internal/metadata"
+	"pipes/internal/traffic"
+)
+
+func main() {
+	var (
+		readings = flag.Int("readings", 200_000, "number of loop-detector readings to stream")
+		interval = flag.Duration("interval", 250*time.Millisecond, "dashboard refresh interval")
+		workers  = flag.Int("workers", 2, "scheduler worker threads")
+	)
+	flag.Parse()
+
+	gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: *readings})
+	dsms := pipes.NewDSMS(pipes.Config{Workers: *workers, MonitorQueries: true})
+	dsms.RegisterStream("traffic", gen.Source("traffic"), 1000)
+
+	for _, q := range []string{traffic.QueryAvgHOVSpeed, traffic.QueryAvgSectionSpeed} {
+		query, err := dsms.RegisterQuery(q)
+		if err != nil {
+			panic(err)
+		}
+		query.Subscribe(pipes.NewCounter("results", 1))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		dsms.Start()
+		dsms.Wait()
+		close(done)
+	}()
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			render(dsms.Monitors(), true)
+			fmt.Println("\nworkload complete")
+			return
+		case <-tick.C:
+			render(dsms.Monitors(), false)
+		}
+	}
+}
+
+func render(monitors []*pipes.Monitored, final bool) {
+	header := "live secondary metadata"
+	if final {
+		header = "final secondary metadata"
+	}
+	fmt.Printf("\n%s %s\n", header, time.Now().Format("15:04:05.000"))
+	fmt.Printf("  %-16s %10s %10s %8s %10s %10s %8s\n",
+		"operator", "in", "out", "sel", "in/s", "out/s", "memB")
+	sort.Slice(monitors, func(i, j int) bool {
+		return monitors[i].Inner().Name() < monitors[j].Inner().Name()
+	})
+	for _, m := range monitors {
+		s := m.Snapshot()
+		fmt.Printf("  %-16s %10.0f %10.0f %8.3f %10.0f %10.0f %8.0f\n",
+			strings.TrimSuffix(m.Name(), "~mon"),
+			s[metadata.InputCount], s[metadata.OutputCount], s[metadata.Selectivity],
+			s[metadata.InputRate], s[metadata.OutputRate], s[metadata.MemoryUsage])
+	}
+}

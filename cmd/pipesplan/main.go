@@ -1,0 +1,91 @@
+// pipesplan is the textual counterpart of the paper's visual query-plan
+// GUI (Fig. 2): it parses CQL, shows the canonical logical plan and the
+// optimizer's enumerated variants with costs, and saves/loads plans as
+// XML.
+//
+// Usage:
+//
+//	pipesplan 'SELECT AVG(speed) FROM traffic [RANGE 3600000]'
+//	pipesplan -variants 'SELECT * FROM a [RANGE 5], b [RANGE 5] WHERE a.k = b.k'
+//	pipesplan -save plan.xml 'SELECT …'
+//	pipesplan -load plan.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipes/internal/cql"
+	"pipes/internal/optimizer"
+	"pipes/internal/planio"
+)
+
+func main() {
+	var (
+		save     = flag.String("save", "", "write the plan as XML to this file")
+		load     = flag.String("load", "", "read a plan from this XML file instead of parsing CQL")
+		variants = flag.Bool("variants", false, "show every enumerated join-order variant with its cost")
+	)
+	flag.Parse()
+
+	var plan optimizer.Plan
+	switch {
+	case *load != "":
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := planio.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
+		fmt.Printf("loaded plan from %s\n\n", *load)
+	case flag.NArg() > 0:
+		text := strings.Join(flag.Args(), " ")
+		q, err := cql.Parse(text)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := optimizer.FromQuery(q)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
+		fmt.Printf("query: %s\n\n", q.Text)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pipesplan [-save f.xml | -load f.xml | -variants] 'CQL query'")
+		os.Exit(2)
+	}
+
+	fmt.Println("logical plan:")
+	fmt.Print(optimizer.Explain(plan))
+	fmt.Printf("\nsignature: %s\n", plan.Signature())
+	fmt.Printf("estimated cost (default rates): %.0f\n", optimizer.Cost(plan, nil, nil))
+
+	if *variants {
+		fmt.Println("\nenumerated snapshot-equivalent variants:")
+		for i, v := range optimizer.Enumerate(plan) {
+			fmt.Printf("\nvariant %d (cost %.0f):\n%s", i,
+				optimizer.Cost(v, nil, nil), optimizer.Explain(v))
+		}
+	}
+
+	if *save != "" {
+		data, err := planio.Encode(plan)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsaved to %s (%d bytes)\n", *save, len(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipesplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Historical queries: archive a live stream while continuous queries run
+// over it, then explore the past demand-driven — snapshots at arbitrary
+// instants, range scans through the cursor algebra, and replay of an
+// archived episode into a fresh live query. This exercises the
+// materialization PIPES reserves for historical processing.
+package main
+
+import (
+	"fmt"
+
+	"pipes"
+	"pipes/internal/traffic"
+)
+
+func main() {
+	// One simulated hour of traffic with a staged accident.
+	incident := traffic.Incident{
+		Section: 4, Direction: traffic.DirOakland,
+		Start: 15 * 60_000, End: 35 * 60_000, SpeedFactor: 0.15,
+	}
+	gen := traffic.NewGenerator(traffic.Config{
+		Seed: 5, MaxReadings: 120_000, MeanGapSec: 6, RushFactor: 0.05,
+		Incidents: []traffic.Incident{incident},
+	})
+
+	// Live side: a continuous query over the stream…
+	dsms := pipes.NewDSMS(pipes.Config{})
+	src := gen.Source("traffic")
+	dsms.RegisterStream("traffic", src, 500)
+	q, err := dsms.RegisterQuery(traffic.QueryAvgSectionSpeed)
+	if err != nil {
+		panic(err)
+	}
+	live := pipes.NewCollector("live", 1)
+	q.Subscribe(live)
+
+	// …while an archive persists the raw readings in 1-minute buckets.
+	arch := pipes.NewArchive("history", 60_000)
+	src.Subscribe(arch, 0)
+
+	dsms.Start()
+	dsms.Wait()
+	live.Wait()
+
+	fmt.Printf("archived %d raw readings (%d KiB)\n\n", arch.Len(), arch.MemoryUsage()/1024)
+
+	// Historical question 1: how many vehicles passed section 4
+	// (Oakland-bound) during the accident's climax, minute 20-25?
+	episode := pipes.NewInterval(20*60_000, 25*60_000)
+	count := 0
+	slow := 0
+	cur := arch.Range(episode)
+	for {
+		v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		tup := v.(pipes.Element).Value.(pipes.Tuple)
+		sec, _ := tup.Get("section")
+		dir, _ := tup.Get("direction")
+		if sec == 4 && dir == traffic.DirOakland {
+			count++
+			speed, _ := tup.Get("speed")
+			if speed.(float64) < 20 {
+				slow++
+			}
+		}
+	}
+	fmt.Printf("minutes 20-25, section 4 toward Oakland: %d vehicles, %d below 20 mph\n",
+		count, slow)
+
+	// Historical question 2: replay the accident episode into a fresh
+	// live query — the archived past re-entering data-driven processing.
+	replay := arch.Replay("replay", episode)
+	filt := pipes.NewFilter("sec4", func(v any) bool {
+		tup := v.(pipes.Tuple)
+		sec, _ := tup.Get("section")
+		dir, _ := tup.Get("direction")
+		return sec == 4 && dir == traffic.DirOakland
+	})
+	speedOf := pipes.NewMap("speed", func(v any) any {
+		s, _ := v.(pipes.Tuple).Get("speed")
+		return s
+	})
+	win := pipes.NewTimeWindow("1min", 60_000)
+	avg := pipes.NewAggregate("avg", pipes.NewAvg)
+	out := pipes.NewCollector("out", 1)
+	pipes.Connect(replay, filt, speedOf, win, avg).Subscribe(out, 0)
+	pipes.Drive(replay)
+	out.Wait()
+
+	fmt.Println("\nreplayed episode — 1-minute average speed on section 4 (sampled):")
+	elems := out.Elements()
+	step := len(elems) / 6
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(elems); i += step {
+		fmt.Printf("  during %-22s avg=%.1f mph\n", elems[i].Interval, elems[i].Value)
+	}
+
+	// Housekeeping: drop everything before minute 30.
+	removed := arch.Vacuum(30 * 60_000)
+	fmt.Printf("\nvacuum(<30min) removed %d readings, %d remain\n", removed, arch.Len())
+}

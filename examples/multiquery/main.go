@@ -1,0 +1,48 @@
+// Multi-query optimization: register a batch of overlapping continuous
+// queries and watch the optimizer share physical operators between them —
+// the paper's extension of multi-query optimization to stream processing.
+package main
+
+import (
+	"fmt"
+
+	"pipes"
+	"pipes/internal/nexmark"
+)
+
+func main() {
+	gen := nexmark.NewGenerator(nexmark.Config{Seed: 7, MaxEvents: 50_000}, nil)
+	dsms := pipes.NewDSMS(pipes.Config{})
+	dsms.RegisterStream("bids", gen.BidSource("bids"), 2000)
+
+	queries := []string{
+		`SELECT auction, price FROM bids [RANGE 60000] WHERE price > 500`,
+		`SELECT auction, price FROM bids [RANGE 60000] WHERE price > 500`,           // identical: full reuse
+		`SELECT auction FROM bids [RANGE 60000] WHERE price > 500`,                  // shares scan+window+filter
+		`SELECT auction, COUNT(*) AS n FROM bids [RANGE 60000] GROUP BY auction`,    // shares scan+window
+		`SELECT auction, COUNT(*) AS n FROM bids [RANGE 60000] GROUP BY auction`,    // identical to the previous
+		`SELECT bidder, MAX(price) AS best FROM bids [RANGE 60000] GROUP BY bidder`, // shares scan+window
+	}
+
+	collectors := make([]*pipes.Counter, len(queries))
+	fmt.Println("registering queries:")
+	for i, text := range queries {
+		q, err := dsms.RegisterQuery(text)
+		if err != nil {
+			panic(err)
+		}
+		collectors[i] = pipes.NewCounter(fmt.Sprintf("q%d", i), 1)
+		q.Subscribe(collectors[i])
+		fmt.Printf("  q%d: new=%d shared=%d cost=%.0f  %s\n",
+			i, q.Instance.NewNodes, q.Instance.SharedNodes, q.Instance.Cost, text)
+	}
+	fmt.Printf("\ntotal physical operators for %d queries: %d\n",
+		len(queries), dsms.Optimizer.OperatorCount())
+
+	dsms.Start()
+	dsms.Wait()
+	for i, c := range collectors {
+		c.Wait()
+		fmt.Printf("q%d results: %d\n", i, c.Count())
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: assemble a minimal stream pipeline twice — once directly
+// from the operator algebra, once declaratively through CQL and the
+// prototype DSMS — and observe that both produce the same answer.
+package main
+
+import (
+	"fmt"
+
+	"pipes"
+)
+
+func main() {
+	// A tiny sensor feed: ten temperature readings, one per second
+	// (timestamps in milliseconds).
+	readings := []pipes.Element{}
+	temps := []float64{19.5, 20.1, 22.3, 25.8, 26.4, 24.9, 21.0, 19.8, 23.3, 27.7}
+	for i, c := range temps {
+		readings = append(readings, pipes.At(pipes.Tuple{"celsius": c}, pipes.Time(i*1000)))
+	}
+
+	// --- Native operator algebra -------------------------------------
+	src := pipes.NewSliceSource("sensor", readings)
+	hot := pipes.NewFilter("hot", func(v any) bool {
+		c, _ := v.(pipes.Tuple).Get("celsius")
+		return c.(float64) > 22
+	})
+	window := pipes.NewTimeWindow("last5s", 5000)
+	count := pipes.NewAggregate("count", pipes.NewCount)
+	out := pipes.NewCollector("out", 1)
+	pipes.Connect(src, hot, window, count).Subscribe(out, 0)
+	pipes.Drive(src)
+	out.Wait()
+
+	fmt.Println("native pipeline — hot readings in the last 5s over time:")
+	for _, e := range out.Elements() {
+		fmt.Printf("  during %-16s count=%v\n", e.Interval, e.Value)
+	}
+
+	// --- The same query via CQL and the DSMS facade ------------------
+	dsms := pipes.NewDSMS(pipes.Config{})
+	dsms.RegisterStream("sensor", pipes.NewSliceSource("sensor", readings), 10)
+	q, err := dsms.RegisterQuery(
+		`SELECT COUNT(*) AS hot FROM sensor [RANGE 5000] WHERE celsius > 22`)
+	if err != nil {
+		panic(err)
+	}
+	out2 := pipes.NewCollector("out2", 1)
+	q.Subscribe(out2)
+	dsms.Start()
+	dsms.Wait()
+	out2.Wait()
+
+	fmt.Println("\nCQL query — same answer, declaratively:")
+	for _, e := range out2.Elements() {
+		n, _ := e.Value.(pipes.Tuple).Get("hot")
+		fmt.Printf("  during %-16s count=%v\n", e.Interval, n)
+	}
+
+	fmt.Println("\nchosen physical plan:")
+	fmt.Print(dsms.Explain())
+}

@@ -1,0 +1,85 @@
+// Traffic management (the paper's first demo scenario): FSP-style loop
+// detector data over I-880, the average-HOV-speed query, and incident
+// detection via per-section 15-minute averages — with a staged accident
+// that the congestion detector must find.
+package main
+
+import (
+	"fmt"
+
+	"pipes"
+	"pipes/internal/traffic"
+)
+
+func main() {
+	// One simulated hour of traffic with an accident on section 4
+	// (Oakland-bound) from minute 10 to minute 40.
+	incident := traffic.Incident{
+		Section:     4,
+		Direction:   traffic.DirOakland,
+		Start:       10 * 60_000,
+		End:         40 * 60_000,
+		SpeedFactor: 0.12,
+	}
+	gen := traffic.NewGenerator(traffic.Config{
+		Seed:        2024,
+		MaxReadings: 200_000,
+		MeanGapSec:  4,
+		RushFactor:  0.05,
+		Incidents:   []traffic.Incident{incident},
+	})
+
+	dsms := pipes.NewDSMS(pipes.Config{Workers: 2, MonitorQueries: true})
+	dsms.RegisterStream("traffic", gen.Source("traffic"), 500)
+
+	hov, err := dsms.RegisterQuery(traffic.QueryAvgHOVSpeed)
+	if err != nil {
+		panic(err)
+	}
+	sections, err := dsms.RegisterQuery(traffic.QueryAvgSectionSpeed)
+	if err != nil {
+		panic(err)
+	}
+
+	hovOut := pipes.NewCollector("hov", 1)
+	secOut := pipes.NewCollector("sections", 1)
+	hov.Subscribe(hovOut)
+	sections.Subscribe(secOut)
+
+	dsms.Start()
+	dsms.Wait()
+	hovOut.Wait()
+	secOut.Wait()
+
+	fmt.Println("Q1: average HOV speed toward Oakland, last hour (sampled):")
+	elems := hovOut.Elements()
+	for i := 0; i < len(elems); i += max(1, len(elems)/8) {
+		avg, _ := elems[i].Value.(pipes.Tuple).Get("avghov")
+		fmt.Printf("  t=%7dms  avg=%.1f mph\n", elems[i].Start, avg)
+	}
+
+	fmt.Println("\nQ2: sections with 15-min average below 35 mph for >= 15 min:")
+	events := traffic.DetectCongestion(secOut.Elements(), 35, 15*60_000)
+	if len(events) == 0 {
+		fmt.Println("  none detected")
+	}
+	for _, ev := range events {
+		fmt.Printf("  section %d congested during %s (likely incident)\n",
+			ev.Section, ev.Interval)
+	}
+
+	fmt.Println("\nlive operator metadata (final snapshot):")
+	for _, m := range dsms.Monitors() {
+		snap := m.Snapshot()
+		fmt.Printf("  %-14s in=%6.0f out=%6.0f selectivity=%.3f\n",
+			m.Inner().Name(),
+			snap["input_count"], snap["output_count"], snap["selectivity"])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module pipes
+
+go 1.22

@@ -1,0 +1,244 @@
+// Package adapter provides the application-side adapters the paper
+// requires of PIPES deployments: "an adapter wrapping a raw input stream
+// to a source within a query graph" and "purpose-built sinks presenting,
+// storing or transferring the streaming query results". This file adapts
+// CSV data — the lingua franca of raw sensor dumps like the FSP traces —
+// in both directions: typed CSV rows become tuple elements, and query
+// results serialise back to CSV.
+package adapter
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"pipes/internal/cql"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// ColKind is a CSV column's value type.
+type ColKind int
+
+// Supported column kinds.
+const (
+	String ColKind = iota
+	Int
+	Float
+)
+
+// Column describes one CSV column.
+type Column struct {
+	Name string
+	Kind ColKind
+}
+
+// CSVSourceConfig parameterises a CSV source.
+type CSVSourceConfig struct {
+	// Schema describes the columns in file order. Required.
+	Schema []Column
+	// TimestampColumn names the (Int) column holding the element
+	// timestamp. Empty means rows are stamped sequentially 0,1,2,…
+	TimestampColumn string
+	// SkipHeader discards the first row.
+	SkipHeader bool
+	// Comma overrides the field separator (default ',').
+	Comma rune
+}
+
+// CSVSource wraps a CSV byte stream as a query-graph source emitting one
+// chronon tuple element per row.
+type CSVSource struct {
+	pubsub.SourceBase
+	cfg   CSVSourceConfig
+	r     *csv.Reader
+	tsIdx int
+	seq   temporal.Time
+	first bool
+	err   error
+}
+
+// NewCSVSource returns a source reading rows from r.
+func NewCSVSource(name string, r io.Reader, cfg CSVSourceConfig) (*CSVSource, error) {
+	if len(cfg.Schema) == 0 {
+		return nil, fmt.Errorf("adapter: CSV source requires a schema")
+	}
+	tsIdx := -1
+	for i, c := range cfg.Schema {
+		if c.Name == cfg.TimestampColumn {
+			if c.Kind != Int {
+				return nil, fmt.Errorf("adapter: timestamp column %q must be Int", c.Name)
+			}
+			tsIdx = i
+		}
+	}
+	if cfg.TimestampColumn != "" && tsIdx < 0 {
+		return nil, fmt.Errorf("adapter: timestamp column %q not in schema", cfg.TimestampColumn)
+	}
+	cr := csv.NewReader(r)
+	if cfg.Comma != 0 {
+		cr.Comma = cfg.Comma
+	}
+	cr.FieldsPerRecord = len(cfg.Schema)
+	return &CSVSource{
+		SourceBase: pubsub.NewSourceBase(name),
+		cfg:        cfg,
+		r:          cr,
+		tsIdx:      tsIdx,
+		first:      true,
+	}, nil
+}
+
+// EmitNext implements pubsub.Emitter.
+func (s *CSVSource) EmitNext() bool {
+	for {
+		row, err := s.r.Read()
+		if err == io.EOF {
+			s.SignalDone()
+			return false
+		}
+		if err != nil {
+			s.err = err
+			s.SignalDone()
+			return false
+		}
+		if s.first && s.cfg.SkipHeader {
+			s.first = false
+			continue
+		}
+		s.first = false
+		tup := make(cql.Tuple, len(s.cfg.Schema))
+		ts := s.seq
+		s.seq++
+		bad := false
+		for i, col := range s.cfg.Schema {
+			switch col.Kind {
+			case Int:
+				n, err := strconv.ParseInt(row[i], 10, 64)
+				if err != nil {
+					s.err = fmt.Errorf("adapter: row column %q: %w", col.Name, err)
+					bad = true
+					break
+				}
+				tup[col.Name] = int(n)
+				if i == s.tsIdx {
+					ts = temporal.Time(n)
+				}
+			case Float:
+				f, err := strconv.ParseFloat(row[i], 64)
+				if err != nil {
+					s.err = fmt.Errorf("adapter: row column %q: %w", col.Name, err)
+					bad = true
+					break
+				}
+				tup[col.Name] = f
+			default:
+				tup[col.Name] = row[i]
+			}
+		}
+		if bad {
+			s.SignalDone()
+			return false
+		}
+		s.Transfer(temporal.At(tup, ts))
+		return true
+	}
+}
+
+// Err returns the first parse error, if any.
+func (s *CSVSource) Err() error { return s.err }
+
+// CSVSink writes received tuple elements as CSV rows: the validity
+// interval in two leading columns (start, end; end empty for unbounded)
+// followed by the configured tuple fields.
+type CSVSink struct {
+	name    string
+	columns []string
+
+	mu  sync.Mutex
+	w   *csv.Writer
+	err error
+}
+
+// NewCSVSink returns a sink writing the given tuple fields. With no
+// columns given, the first element's sorted field names fix the layout.
+func NewCSVSink(name string, w io.Writer, columns ...string) *CSVSink {
+	return &CSVSink{name: name, columns: columns, w: csv.NewWriter(w)}
+}
+
+// Name implements pubsub.Node.
+func (s *CSVSink) Name() string { return s.name }
+
+// Process implements pubsub.Sink.
+func (s *CSVSink) Process(e temporal.Element, _ int) {
+	tup, ok := e.Value.(cql.Tuple)
+	if !ok {
+		tup = cql.Tuple{"value": e.Value}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if s.columns == nil {
+		for k := range tup {
+			s.columns = append(s.columns, k)
+		}
+		sort.Strings(s.columns)
+		header := append([]string{"start", "end"}, s.columns...)
+		if err := s.w.Write(header); err != nil {
+			s.err = err
+			return
+		}
+	}
+	row := make([]string, 0, len(s.columns)+2)
+	row = append(row, strconv.FormatInt(int64(e.Start), 10))
+	if e.End == temporal.MaxTime {
+		row = append(row, "")
+	} else {
+		row = append(row, strconv.FormatInt(int64(e.End), 10))
+	}
+	for _, c := range s.columns {
+		v, _ := tup.Get(c)
+		row = append(row, format(v))
+	}
+	s.err = s.w.Write(row)
+}
+
+// Done implements pubsub.Sink: flushes the writer.
+func (s *CSVSink) Done(_ int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	if s.err == nil {
+		s.err = s.w.Error()
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *CSVSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func format(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,31 @@
+package aggregate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ByName resolves an SQL aggregate-function name to a Factory; it backs
+// the CQL front end. Recognised names (case-insensitive): COUNT, SUM, AVG,
+// MIN, MAX, VAR, VARIANCE, STDDEV, MEDIAN.
+func ByName(name string) (Factory, error) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return NewCount, nil
+	case "SUM":
+		return NewSum, nil
+	case "AVG":
+		return NewAvg, nil
+	case "MIN":
+		return NewMin, nil
+	case "MAX":
+		return NewMax, nil
+	case "VAR", "VARIANCE":
+		return NewVariance, nil
+	case "STDDEV":
+		return NewStdDev, nil
+	case "MEDIAN":
+		return NewMedian, nil
+	}
+	return nil, fmt.Errorf("aggregate: unknown aggregate function %q", name)
+}

@@ -1,0 +1,204 @@
+package archive
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipes/internal/aggregate"
+	"pipes/internal/cursor"
+	"pipes/internal/pubsub"
+	"pipes/internal/snapshot"
+	"pipes/internal/temporal"
+)
+
+func el(v any, s, e temporal.Time) temporal.Element { return temporal.NewElement(v, s, e) }
+
+func fill(a *Archive, elems ...temporal.Element) {
+	for _, e := range elems {
+		a.Process(e, 0)
+	}
+}
+
+func rangeValues(a *Archive, iv temporal.Interval) []any {
+	var out []any
+	cur := a.Range(iv)
+	for {
+		v, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v.(temporal.Element).Value)
+	}
+}
+
+func TestArchiveViaSubscription(t *testing.T) {
+	src := pubsub.NewSliceSource("src", []temporal.Element{
+		el("a", 0, 10), el("b", 5, 15), el("c", 20, 30),
+	})
+	a := New("arch", 8)
+	src.Subscribe(a, 0)
+	pubsub.Drive(src)
+	if a.Len() != 3 {
+		t.Fatalf("archived %d, want 3", a.Len())
+	}
+	if !a.Closed() {
+		t.Fatal("done not recorded")
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	a := New("arch", 10)
+	fill(a, el("a", 0, 10), el("b", 5, 15), el("c", 20, 30), el("d", 35, 36))
+	cases := []struct {
+		iv   temporal.Interval
+		want []any
+	}{
+		{temporal.NewInterval(0, 5), []any{"a"}},
+		{temporal.NewInterval(5, 10), []any{"a", "b"}},
+		{temporal.NewInterval(12, 22), []any{"b", "c"}},
+		{temporal.NewInterval(30, 35), nil},
+		{temporal.NewInterval(0, 100), []any{"a", "b", "c", "d"}},
+		{temporal.NewInterval(5, 5), nil}, // empty interval
+	}
+	for _, c := range cases {
+		got := rangeValues(a, c.iv)
+		if !snapshot.SameMultiset(got, c.want) {
+			t.Errorf("Range(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestRangeReturnsStartOrder(t *testing.T) {
+	a := New("arch", 4)
+	fill(a, el(1, 0, 100), el(2, 7, 9), el(3, 13, 50), el(4, 21, 22))
+	cur := a.Range(temporal.NewInterval(0, 100))
+	prev := temporal.MinTime
+	for {
+		v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		e := v.(temporal.Element)
+		if e.Start < prev {
+			t.Fatalf("range cursor unordered")
+		}
+		prev = e.Start
+	}
+}
+
+func TestLongIntervalsFoundAcrossBuckets(t *testing.T) {
+	// An element starting long before the queried range must be found.
+	a := New("arch", 10)
+	fill(a, el("long", 0, 1000), el("short", 500, 510))
+	got := rangeValues(a, temporal.NewInterval(505, 506))
+	if !snapshot.SameMultiset(got, []any{"long", "short"}) {
+		t.Fatalf("Range over long element = %v", got)
+	}
+}
+
+func TestUnboundedElements(t *testing.T) {
+	a := New("arch", 10)
+	fill(a, el("forever", 3, temporal.MaxTime))
+	got := rangeValues(a, temporal.NewInterval(1_000_000, 1_000_001))
+	if !snapshot.SameMultiset(got, []any{"forever"}) {
+		t.Fatalf("unbounded element missed: %v", got)
+	}
+}
+
+func TestSnapshotMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New("arch", 16)
+	var all []temporal.Element
+	ts := temporal.Time(0)
+	for i := 0; i < 300; i++ {
+		ts += temporal.Time(rng.Intn(5))
+		e := el(rng.Intn(10), ts, ts+temporal.Time(rng.Intn(40)+1))
+		all = append(all, e)
+		a.Process(e, 0)
+	}
+	for _, probe := range snapshot.Boundaries(all) {
+		got := a.Snapshot(probe)
+		want := snapshot.At(all, probe)
+		if !snapshot.SameMultiset(got, want) {
+			t.Fatalf("Snapshot(%d) = %v, want %v", probe, got, want)
+		}
+	}
+}
+
+func TestReplayIntoLiveGraph(t *testing.T) {
+	a := New("arch", 10)
+	fill(a, el(1, 0, 5), el(2, 8, 12), el(3, 20, 25))
+	col := pubsub.NewCollector("col", 1)
+	rep := a.Replay("replay", temporal.NewInterval(0, 15))
+	rep.Subscribe(col, 0)
+	pubsub.Drive(rep)
+	col.Wait()
+	if !snapshot.SameMultiset(col.Values(), []any{1, 2}) {
+		t.Fatalf("replayed %v", col.Values())
+	}
+}
+
+func TestVacuum(t *testing.T) {
+	a := New("arch", 10)
+	fill(a, el("old", 0, 5), el("mid", 0, 50), el("new", 60, 70))
+	if n := a.Vacuum(50); n != 2 {
+		t.Fatalf("Vacuum removed %d, want 2 (ends 5 and 50)", n)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len after vacuum = %d", a.Len())
+	}
+	if got := rangeValues(a, temporal.NewInterval(0, 100)); !snapshot.SameMultiset(got, []any{"new"}) {
+		t.Fatalf("post-vacuum range = %v", got)
+	}
+	if a.MemoryUsage() <= 0 {
+		t.Fatal("memory not reported")
+	}
+}
+
+func TestNegativeTimestamps(t *testing.T) {
+	a := New("arch", 10)
+	fill(a, el("neg", -25, -5))
+	if got := rangeValues(a, temporal.NewInterval(-10, -6)); !snapshot.SameMultiset(got, []any{"neg"}) {
+		t.Fatalf("negative-time range = %v", got)
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	a := New("arch", 10)
+	if got := rangeValues(a, temporal.NewInterval(0, 10)); len(got) != 0 {
+		t.Fatalf("empty archive returned %v", got)
+	}
+	if got := a.Snapshot(5); len(got) != 0 {
+		t.Fatalf("empty snapshot = %v", got)
+	}
+}
+
+func TestGranuleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("granule 0 accepted")
+		}
+	}()
+	New("arch", 0)
+}
+
+func TestHistoricalQueryOverArchivedStream(t *testing.T) {
+	// End-to-end: archive a live stream, then answer a historical query
+	// demand-driven with the cursor algebra.
+	src := pubsub.NewSliceSource("sensor", []temporal.Element{
+		el(30, 0, 10), el(50, 5, 15), el(10, 12, 20), el(40, 18, 28),
+	})
+	a := New("arch", 8)
+	src.Subscribe(a, 0)
+	pubsub.Drive(src)
+
+	// "What was the maximum value during [5, 15)?"
+	maxVal := cursor.Aggregate(
+		cursor.Map(a.Range(temporal.NewInterval(5, 15)), func(v any) any {
+			return v.(temporal.Element).Value
+		}),
+		aggregate.NewMax)
+	if maxVal != 50.0 {
+		t.Fatalf("historical max = %v, want 50", maxVal)
+	}
+}

@@ -1,0 +1,342 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *Query {
+	t.Helper()
+	out, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return out
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, "SELECT speed FROM traffic [RANGE 3600] WHERE lane = 5")
+	if len(q.Select) != 1 || q.Select[0].Expr.String() != "speed" {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Stream != "traffic" {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if q.From[0].Window.Kind != WindowRange || q.From[0].Window.N != 3600 {
+		t.Fatalf("window = %+v", q.From[0].Window)
+	}
+	if q.Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM s [NOW]")
+	if !q.Select[0].Star {
+		t.Fatal("star not parsed")
+	}
+	if q.From[0].Window.Kind != WindowNow {
+		t.Fatal("NOW window not parsed")
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind WindowKind
+	}{
+		{"SELECT * FROM s [RANGE 10]", WindowRange},
+		{"SELECT * FROM s [RANGE 10 SLIDE 10]", WindowRange},
+		{"SELECT * FROM s [ROWS 5]", WindowRows},
+		{"SELECT * FROM s [NOW]", WindowNow},
+		{"SELECT * FROM s [UNBOUNDED]", WindowUnbounded},
+		{"SELECT * FROM s [PARTITION BY k ROWS 3]", WindowPartitionRows},
+		{"SELECT * FROM s", WindowNone},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.in)
+		if q.From[0].Window.Kind != c.kind {
+			t.Errorf("%q: window kind %v, want %v", c.in, q.From[0].Window.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	for _, in := range []string{
+		"SELECT * FROM s [RANGE 0]",
+		"SELECT * FROM s [ROWS 0]",
+		"SELECT * FROM s [RANGE 10 SLIDE 5]", // general slide unsupported
+		"SELECT * FROM s [FOO]",
+		"SELECT * FROM s [RANGE 10",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestParseJoinAndAliases(t *testing.T) {
+	q := mustParse(t, `SELECT b.price, p.name FROM bids [RANGE 600] AS b, persons [UNBOUNDED] p WHERE b.bidder = p.id`)
+	if len(q.From) != 2 {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if q.From[0].Alias != "b" || q.From[1].Alias != "p" {
+		t.Fatalf("aliases = %q, %q", q.From[0].Alias, q.From[1].Alias)
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	q := mustParse(t, `SELECT section, AVG(speed) AS avgspeed FROM traffic [RANGE 900]
+		GROUP BY section HAVING AVG(speed) < 40`)
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "section" {
+		t.Fatalf("group by = %+v", q.GroupBy)
+	}
+	if q.Having == nil {
+		t.Fatal("having missing")
+	}
+	calls := CollectCalls(q.Select[1].Expr)
+	if len(calls) != 1 || calls[0].Fn != "AVG" {
+		t.Fatalf("calls = %+v", calls)
+	}
+}
+
+func TestParseRelationOps(t *testing.T) {
+	q := mustParse(t, "ISTREAM(SELECT * FROM s [RANGE 5])")
+	if q.Relation != RelIStream {
+		t.Fatal("ISTREAM not parsed")
+	}
+	q = mustParse(t, "DSTREAM(SELECT * FROM s [RANGE 5])")
+	if q.Relation != RelDStream {
+		t.Fatal("DSTREAM not parsed")
+	}
+	q = mustParse(t, "RSTREAM(SELECT * FROM s [RANGE 5], SLIDE 60)")
+	if q.Relation != RelRStream || q.RStreamSlide != 60 {
+		t.Fatalf("RSTREAM = %+v", q)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := mustParse(t, "SELECT DISTINCT lane FROM traffic [RANGE 60]")
+	if !q.Distinct {
+		t.Fatal("distinct not parsed")
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(*) FROM s [ROWS 10]")
+	c := q.Select[0].Expr.(Call)
+	if c.Fn != "COUNT" || !c.Star {
+		t.Fatalf("call = %+v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM s",
+		"SELECT * FROM",
+		"SELECT * FROM s WHERE",
+		"SELECT * FROM s GROUP",
+		"FOO * FROM s",
+		"SELECT * FROM s extra junk ,",
+		"SELECT 'unterminated FROM s",
+		"ISTREAM SELECT * FROM s",
+		"SELECT a~b FROM s",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM s WHERE a + b * 2 > 10 AND c = 'x' OR d < 3")
+	got := q.Where.String()
+	want := "(((a + (b * 2)) > 10) AND (c = 'x')) OR ((d < 3))"
+	// Normalise: just check OR is outermost and * binds tighter than +.
+	if !strings.HasPrefix(got, "((") || !strings.Contains(got, "(b * 2)") {
+		t.Fatalf("precedence: %s (want shape like %s)", got, want)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	tup := Tuple{"a": 4, "b": 3.0, "s": "hi", "f": true}
+	cases := []struct {
+		expr string
+		want any
+	}{
+		{"a + b", 7.0},
+		{"a - b", 1.0},
+		{"a * b", 12.0},
+		{"a / 2", 2.0},
+		{"a % 3", 1.0},
+		{"-a", -4.0},
+		{"a > b", true},
+		{"a < b", false},
+		{"a >= 4", true},
+		{"a <= 3", false},
+		{"a = 4", true},
+		{"a != 4", false},
+		{"s = 'hi'", true},
+		{"s < 'z'", true},
+		{"a > 1 AND b > 1", true},
+		{"a > 9 OR b > 1", true},
+		{"NOT (a > 9)", true},
+		{"TRUE", true},
+		{"FALSE", false},
+		{"a / 0", nil},
+	}
+	for _, c := range cases {
+		q := mustParse(t, "SELECT * FROM s WHERE "+c.expr)
+		if got := q.Where.Eval(tup); got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestTupleGetQualified(t *testing.T) {
+	tup := Tuple{"bids.price": 10, "persons.name": "ann"}
+	if v, ok := tup.Get("price"); !ok || v != 10 {
+		t.Fatalf("suffix resolution failed: %v %v", v, ok)
+	}
+	if v, ok := tup.Get("bids.price"); !ok || v != 10 {
+		t.Fatalf("exact resolution failed: %v %v", v, ok)
+	}
+	ambiguous := Tuple{"a.x": 1, "b.x": 2}
+	if _, ok := ambiguous.Get("x"); ok {
+		t.Fatal("ambiguous suffix resolved")
+	}
+	if _, ok := tup.Get("missing"); ok {
+		t.Fatal("missing field resolved")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	tup := Tuple{"a": 1}
+	c := tup.Clone()
+	c["a"] = 2
+	if tup["a"] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestCollectFields(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM s WHERE a > 1 AND SUM(b) > c")
+	fields := CollectFields(q.Where)
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(fields) != 3 {
+		t.Fatalf("fields = %v", fields)
+	}
+	for _, f := range fields {
+		if !want[f] {
+			t.Fatalf("fields = %v", fields)
+		}
+	}
+}
+
+func TestCallEvalReadsPrecomputedField(t *testing.T) {
+	c := Call{Fn: "AVG", Arg: Field{Name: "speed"}}
+	tup := Tuple{"AVG(speed)": 42.0}
+	if got := c.Eval(tup); got != 42.0 {
+		t.Fatalf("Call.Eval = %v", got)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	q := mustParse(t, `SELECT a -- projection
+		FROM s [RANGE 10] -- window
+		WHERE a > 1`)
+	if len(q.Select) != 1 || q.Where == nil {
+		t.Fatal("comments broke parsing")
+	}
+}
+
+func TestWindowString(t *testing.T) {
+	for _, c := range []struct {
+		w    Window
+		want string
+	}{
+		{Window{Kind: WindowRange, N: 10}, "[RANGE 10]"},
+		{Window{Kind: WindowRange, N: 10, Slide: 10}, "[RANGE 10 SLIDE 10]"},
+		{Window{Kind: WindowRows, N: 5}, "[ROWS 5]"},
+		{Window{Kind: WindowNow}, "[NOW]"},
+		{Window{Kind: WindowUnbounded}, "[UNBOUNDED]"},
+		{Window{Kind: WindowPartitionRows, N: 3, PartitionBy: "k"}, "[PARTITION BY k ROWS 3]"},
+		{Window{}, ""},
+	} {
+		if got := c.w.String(); got != c.want {
+			t.Errorf("Window.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseWindowTimeUnits(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int64
+		slid int64
+	}{
+		{"SELECT * FROM s [RANGE 10 SECONDS]", 10_000, 0},
+		{"SELECT * FROM s [RANGE 1 MINUTE]", 60_000, 0},
+		{"SELECT * FROM s [RANGE 2 hours]", 7_200_000, 0},
+		{"SELECT * FROM s [RANGE 1 DAY]", 86_400_000, 0},
+		{"SELECT * FROM s [RANGE 10 MINUTES SLIDE 10 MINUTES]", 600_000, 600_000},
+		{"SELECT * FROM s [RANGE 500 MILLISECONDS]", 500, 0},
+		{"SELECT * FROM s [RANGE 42]", 42, 0}, // unitless stays raw
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.in)
+		w := q.From[0].Window
+		if w.N != c.n || w.Slide != c.slid {
+			t.Errorf("%q: window = %+v, want N=%d Slide=%d", c.in, w, c.n, c.slid)
+		}
+	}
+}
+
+func TestParseWindowUnitVsAlias(t *testing.T) {
+	// An identifier after the window bracket is an alias, not a unit.
+	q := mustParse(t, "SELECT * FROM s [RANGE 10] minutes")
+	if q.From[0].Alias != "minutes" {
+		t.Fatalf("alias = %q", q.From[0].Alias)
+	}
+	if q.From[0].Window.N != 10 {
+		t.Fatalf("window = %+v", q.From[0].Window)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM s WHERE x BETWEEN 3 AND 7")
+	tupIn := Tuple{"x": 5}
+	tupLow := Tuple{"x": 2}
+	tupHi := Tuple{"x": 8}
+	tupEdge := Tuple{"x": 3}
+	if q.Where.Eval(tupIn) != true {
+		t.Fatal("5 not between 3 and 7")
+	}
+	if q.Where.Eval(tupLow) != false || q.Where.Eval(tupHi) != false {
+		t.Fatal("out-of-range values accepted")
+	}
+	if q.Where.Eval(tupEdge) != true {
+		t.Fatal("BETWEEN must be inclusive")
+	}
+	// BETWEEN binds tighter than AND.
+	q2 := mustParse(t, "SELECT * FROM s WHERE x BETWEEN 3 AND 7 AND y = 1")
+	if q2.Where.Eval(Tuple{"x": 5, "y": 1}) != true {
+		t.Fatal("BETWEEN composition with AND broken")
+	}
+	if q2.Where.Eval(Tuple{"x": 5, "y": 2}) != false {
+		t.Fatal("trailing conjunct ignored")
+	}
+}
+
+func TestParseBetweenErrors(t *testing.T) {
+	for _, in := range []string{
+		"SELECT * FROM s WHERE x BETWEEN 3",
+		"SELECT * FROM s WHERE x BETWEEN 3 OR 7",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}

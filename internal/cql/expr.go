@@ -1,0 +1,267 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"pipes/internal/aggregate"
+)
+
+// Tuple is the record type flowing through CQL queries: field name →
+// value. Joined tuples carry qualified names ("stream.field").
+type Tuple map[string]any
+
+// Get resolves a field: exact match first, then unique unqualified suffix
+// match ("price" resolves "bids.price" if unambiguous).
+func (t Tuple) Get(name string) (any, bool) {
+	if v, ok := t[name]; ok {
+		return v, true
+	}
+	var found any
+	hits := 0
+	suffix := "." + name
+	for k, v := range t {
+		if strings.HasSuffix(k, suffix) {
+			found = v
+			hits++
+		}
+	}
+	if hits == 1 {
+		return found, true
+	}
+	return nil, false
+}
+
+// Clone returns a shallow copy.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// Expr is an evaluable scalar expression over tuples. String returns a
+// canonical form used for plan signatures and sharing.
+type Expr interface {
+	Eval(t Tuple) any
+	String() string
+}
+
+// Literal is a constant.
+type Literal struct{ V any }
+
+// Eval implements Expr.
+func (l Literal) Eval(Tuple) any { return l.V }
+
+func (l Literal) String() string {
+	if s, ok := l.V.(string); ok {
+		return "'" + s + "'"
+	}
+	return fmt.Sprintf("%v", l.V)
+}
+
+// Field references a (possibly qualified) tuple field; missing fields
+// evaluate to nil.
+type Field struct{ Name string }
+
+// Eval implements Expr.
+func (f Field) Eval(t Tuple) any {
+	v, _ := t.Get(f.Name)
+	return v
+}
+
+func (f Field) String() string { return f.Name }
+
+// Binary applies an infix operator. Comparison yields bool; arithmetic
+// yields float64; AND/OR expect bools (nil counts as false).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Binary) Eval(t Tuple) any {
+	switch b.Op {
+	case "AND":
+		return truthy(b.L.Eval(t)) && truthy(b.R.Eval(t))
+	case "OR":
+		return truthy(b.L.Eval(t)) || truthy(b.R.Eval(t))
+	}
+	l, r := b.L.Eval(t), b.R.Eval(t)
+	switch b.Op {
+	case "=":
+		return equal(l, r)
+	case "!=", "<>":
+		return !equal(l, r)
+	case "<", "<=", ">", ">=":
+		lf, lok := aggregate.ToFloat(l)
+		rf, rok := aggregate.ToFloat(r)
+		if !lok || !rok {
+			ls, lIsS := l.(string)
+			rs, rIsS := r.(string)
+			if lIsS && rIsS {
+				return compareStrings(b.Op, ls, rs)
+			}
+			return false
+		}
+		switch b.Op {
+		case "<":
+			return lf < rf
+		case "<=":
+			return lf <= rf
+		case ">":
+			return lf > rf
+		default:
+			return lf >= rf
+		}
+	case "+", "-", "*", "/", "%":
+		lf, lok := aggregate.ToFloat(l)
+		rf, rok := aggregate.ToFloat(r)
+		if !lok || !rok {
+			return nil
+		}
+		switch b.Op {
+		case "+":
+			return lf + rf
+		case "-":
+			return lf - rf
+		case "*":
+			return lf * rf
+		case "/":
+			if rf == 0 {
+				return nil
+			}
+			return lf / rf
+		default:
+			if rf == 0 {
+				return nil
+			}
+			return float64(int64(lf) % int64(rf))
+		}
+	}
+	return nil
+}
+
+func (b Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(t Tuple) any { return !truthy(n.E.Eval(t)) }
+
+func (n Not) String() string { return "(NOT " + n.E.String() + ")" }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+// Eval implements Expr.
+func (n Neg) Eval(t Tuple) any {
+	f, ok := aggregate.ToFloat(n.E.Eval(t))
+	if !ok {
+		return nil
+	}
+	return -f
+}
+
+func (n Neg) String() string { return "(-" + n.E.String() + ")" }
+
+// Call is an aggregate-function application (COUNT(*), AVG(expr), …).
+// Calls never evaluate directly — the planner rewrites them into group-by
+// state and replaces them with field references; Eval reads the
+// already-computed result field.
+type Call struct {
+	Fn   string // upper-case function name
+	Arg  Expr   // nil for COUNT(*)
+	Star bool
+}
+
+// Eval implements Expr: reads the precomputed aggregate result.
+func (c Call) Eval(t Tuple) any {
+	v, _ := t.Get(c.String())
+	return v
+}
+
+func (c Call) String() string {
+	if c.Star {
+		return c.Fn + "(*)"
+	}
+	return c.Fn + "(" + c.Arg.String() + ")"
+}
+
+func truthy(v any) bool {
+	b, ok := v.(bool)
+	return ok && b
+}
+
+func equal(l, r any) bool {
+	if lf, ok := aggregate.ToFloat(l); ok {
+		if rf, ok2 := aggregate.ToFloat(r); ok2 {
+			return lf == rf
+		}
+		return false
+	}
+	return l == r
+}
+
+func compareStrings(op, l, r string) bool {
+	switch op {
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	default:
+		return l >= r
+	}
+}
+
+// CollectCalls returns every aggregate Call inside e, left to right.
+func CollectCalls(e Expr) []Call {
+	var out []Call
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case Call:
+			out = append(out, v)
+		case Binary:
+			walk(v.L)
+			walk(v.R)
+		case Not:
+			walk(v.E)
+		case Neg:
+			walk(v.E)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// CollectFields returns every field name referenced in e.
+func CollectFields(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case Field:
+			out = append(out, v.Name)
+		case Call:
+			if v.Arg != nil {
+				walk(v.Arg)
+			}
+		case Binary:
+			walk(v.L)
+			walk(v.R)
+		case Not:
+			walk(v.E)
+		case Neg:
+			walk(v.E)
+		}
+	}
+	walk(e)
+	return out
+}

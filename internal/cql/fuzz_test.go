@@ -1,0 +1,39 @@
+package cql
+
+import "testing"
+
+// FuzzParse guards the parser against panics on arbitrary input; run
+// longer with `go test -fuzz=FuzzParse ./internal/cql`. Under plain
+// `go test` the seed corpus doubles as a robustness regression suite.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM s",
+		"SELECT a, b FROM s [RANGE 10 MINUTES] WHERE a > 1",
+		"ISTREAM(SELECT COUNT(*) FROM s [ROWS 5])",
+		"RSTREAM(SELECT x FROM s [RANGE 1], SLIDE 2)",
+		"SELECT * FROM a [NOW], b [UNBOUNDED] WHERE a.k = b.k",
+		"SELECT 'str' FROM s [PARTITION BY k ROWS 2]",
+		"SELECT ((((((((((a))))))))))", // deep nesting
+		"",
+		"[[[[",
+		"SELECT",
+		"\x00\xff\xfe",
+		"SELECT * FROM s -- comment",
+		"SELECT -1.5e10 FROM s",
+		"SELECT a FROM s WHERE a = 'unterminated",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input) // must never panic
+		if err == nil && q == nil {
+			t.Fatal("nil query without error")
+		}
+		if err == nil && q.Where != nil {
+			// Canonical forms of accepted queries must reparse.
+			if _, err := ParseExpr(q.Where.String()); err != nil {
+				t.Fatalf("accepted WHERE %q does not reparse: %v", q.Where.String(), err)
+			}
+		}
+	})
+}

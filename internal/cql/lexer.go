@@ -1,0 +1,117 @@
+// Package cql implements the Continuous Query Language front end the
+// paper's algebra conforms to [Arasu, Babu & Widom, 2]: a lexer and parser
+// for a practical CQL subset — SELECT [DISTINCT] … FROM stream [window]
+// [, …] WHERE … GROUP BY … HAVING …, with sliding/tumbling/row/partitioned
+// windows and the ISTREAM/DSTREAM/RSTREAM relation-to-stream operators —
+// plus tuple values and evaluable scalar expressions. The optimizer
+// translates parsed queries into snapshot-equivalent physical plans over
+// internal/ops.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , . * [ ]
+	tokOp      // = != <> < <= > >= + - / %
+	tokKeyword // reserved words, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true,
+	"RANGE": true, "ROWS": true, "SLIDE": true, "NOW": true,
+	"UNBOUNDED": true, "PARTITION": true,
+	"ISTREAM": true, "DSTREAM": true, "RSTREAM": true,
+	"TRUE": true, "FALSE": true, "BETWEEN": true,
+}
+
+// lex tokenises the input; errors carry byte offsets.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // comment to EOL
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (!seenDot && input[i] == '.' &&
+				i+1 < n && unicode.IsDigit(rune(input[i+1])))) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("cql: unterminated string literal at %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: input[start+1 : i], pos: start})
+			i++
+		case strings.ContainsRune("(),.*[]", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case strings.ContainsRune("=<>!+-/%", rune(c)):
+			start := i
+			// two-char operators first
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "<>":
+					toks = append(toks, token{kind: tokOp, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, token{kind: tokOp, text: string(c), pos: start})
+			i++
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,632 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RelOp is the relation-to-stream operator wrapping a query.
+type RelOp int
+
+// Relation-to-stream operators.
+const (
+	RelNone RelOp = iota // raw temporal result
+	RelIStream
+	RelDStream
+	RelRStream
+)
+
+// WindowKind classifies stream-to-relation windows.
+type WindowKind int
+
+// Window kinds (CQL bracket syntax).
+const (
+	WindowNone WindowKind = iota // no window: raw chronon stream
+	WindowRange
+	WindowRows
+	WindowNow
+	WindowUnbounded
+	WindowPartitionRows
+)
+
+// Window is a parsed window specification.
+type Window struct {
+	Kind        WindowKind
+	N           int64 // RANGE length or ROWS count
+	Slide       int64 // 0 = pure sliding; == N = tumbling
+	PartitionBy string
+}
+
+func (w Window) String() string {
+	switch w.Kind {
+	case WindowNone:
+		return ""
+	case WindowRange:
+		if w.Slide > 0 {
+			return fmt.Sprintf("[RANGE %d SLIDE %d]", w.N, w.Slide)
+		}
+		return fmt.Sprintf("[RANGE %d]", w.N)
+	case WindowRows:
+		return fmt.Sprintf("[ROWS %d]", w.N)
+	case WindowNow:
+		return "[NOW]"
+	case WindowUnbounded:
+		return "[UNBOUNDED]"
+	case WindowPartitionRows:
+		return fmt.Sprintf("[PARTITION BY %s ROWS %d]", w.PartitionBy, w.N)
+	}
+	return "[?]"
+}
+
+// FromItem is one stream reference with its window.
+type FromItem struct {
+	Stream string
+	Alias  string // defaults to Stream
+	Window Window
+}
+
+// SelectItem is one projection: expression with optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OutName returns the output field name of the item.
+func (s SelectItem) OutName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Expr.String()
+}
+
+// Query is a parsed CQL query.
+type Query struct {
+	Relation     RelOp
+	RStreamSlide int64
+	Distinct     bool
+	Select       []SelectItem
+	From         []FromItem
+	Where        Expr // nil when absent
+	GroupBy      []Expr
+	Having       Expr // nil when absent
+	Text         string
+}
+
+// Parse parses one CQL query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	q.Text = strings.TrimSpace(input)
+	return q, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by plan
+// deserialisation; expression canonical forms round-trip through it).
+func ParseExpr(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(k tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokenKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, text string) (token, error) {
+	if p.at(k, text) {
+		t := p.cur()
+		p.advance()
+		return t, nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	switch {
+	case p.accept(tokKeyword, "ISTREAM"):
+		return p.parseWrapped(RelIStream)
+	case p.accept(tokKeyword, "DSTREAM"):
+		return p.parseWrapped(RelDStream)
+	case p.accept(tokKeyword, "RSTREAM"):
+		return p.parseWrapped(RelRStream)
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseWrapped(rel RelOp) (*Query, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if rel == RelRStream && p.accept(tokSymbol, ",") {
+		if _, err := p.expect(tokKeyword, "SLIDE"); err != nil {
+			return nil, err
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		q.RStreamSlide = n
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	q.Relation = rel
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	q.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, item)
+		// A comma continues the FROM list only when a stream name follows;
+		// RSTREAM(…, SLIDE n) owns the other kind of comma.
+		if !p.at(tokSymbol, ",") || p.toks[p.pos+1].kind != tokIdent {
+			break
+		}
+		p.advance()
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = id.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return FromItem{}, err
+	}
+	item := FromItem{Stream: id.text, Alias: id.text}
+	if p.at(tokSymbol, "[") {
+		w, err := p.parseWindow()
+		if err != nil {
+			return FromItem{}, err
+		}
+		item.Window = w
+	}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return FromItem{}, err
+		}
+		item.Alias = alias.text
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.cur().text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) parseWindow() (Window, error) {
+	if _, err := p.expect(tokSymbol, "["); err != nil {
+		return Window{}, err
+	}
+	var w Window
+	switch {
+	case p.accept(tokKeyword, "RANGE"):
+		n, err := p.parseDuration()
+		if err != nil {
+			return Window{}, err
+		}
+		w = Window{Kind: WindowRange, N: n}
+		if p.accept(tokKeyword, "SLIDE") {
+			s, err := p.parseDuration()
+			if err != nil {
+				return Window{}, err
+			}
+			w.Slide = s
+		}
+	case p.accept(tokKeyword, "ROWS"):
+		n, err := p.parseInt()
+		if err != nil {
+			return Window{}, err
+		}
+		w = Window{Kind: WindowRows, N: n}
+	case p.accept(tokKeyword, "NOW"):
+		w = Window{Kind: WindowNow}
+	case p.accept(tokKeyword, "UNBOUNDED"):
+		w = Window{Kind: WindowUnbounded}
+	case p.accept(tokKeyword, "PARTITION"):
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return Window{}, err
+		}
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return Window{}, err
+		}
+		if _, err := p.expect(tokKeyword, "ROWS"); err != nil {
+			return Window{}, err
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return Window{}, err
+		}
+		w = Window{Kind: WindowPartitionRows, N: n, PartitionBy: id.text}
+	default:
+		return Window{}, p.errf("unknown window specification %q", p.cur().text)
+	}
+	if _, err := p.expect(tokSymbol, "]"); err != nil {
+		return Window{}, err
+	}
+	if (w.Kind == WindowRange || w.Kind == WindowRows || w.Kind == WindowPartitionRows) && w.N <= 0 {
+		return Window{}, p.errf("window size must be positive")
+	}
+	if w.Slide < 0 || (w.Slide > 0 && w.Slide != w.N) {
+		return Window{}, p.errf("only SLIDE equal to RANGE (tumbling) is supported")
+	}
+	return w, nil
+}
+
+func (p *parser) parseInt() (int64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", t.text)
+	}
+	return n, nil
+}
+
+// timeUnits maps CQL duration unit words to milliseconds, the library's
+// canonical application-time unit.
+var timeUnits = map[string]int64{
+	"MILLISECOND": 1, "MILLISECONDS": 1,
+	"SECOND": 1000, "SECONDS": 1000,
+	"MINUTE": 60_000, "MINUTES": 60_000,
+	"HOUR": 3_600_000, "HOURS": 3_600_000,
+	"DAY": 86_400_000, "DAYS": 86_400_000,
+}
+
+// parseDuration parses an integer with an optional time unit, e.g.
+// "RANGE 10 MINUTES"; without a unit the number is taken as-is
+// (milliseconds by convention).
+func (p *parser) parseDuration() (int64, error) {
+	n, err := p.parseInt()
+	if err != nil {
+		return 0, err
+	}
+	if p.at(tokIdent, "") {
+		if factor, ok := timeUnits[strings.ToUpper(p.cur().text)]; ok {
+			p.advance()
+			return n * factor, nil
+		}
+	}
+	return n, nil
+}
+
+// Expression grammar: or → and → not → comparison → additive →
+// multiplicative → unary → primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// x BETWEEN a AND b desugars to (x >= a) AND (x <= b).
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{
+			Op: "AND",
+			L:  Binary{Op: ">=", L: l, R: lo},
+			R:  Binary{Op: "<=", L: l, R: hi},
+		}, nil
+	}
+	for _, op := range []string{"=", "!=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(tokOp, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "+", L: l, R: r}
+		case p.accept(tokOp, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "*", L: l, R: r}
+		case p.accept(tokOp, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "/", L: l, R: r}
+		case p.accept(tokOp, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return Literal{V: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return Literal{V: float64(n)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return Literal{V: t.text}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.advance()
+		return Literal{V: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.advance()
+		return Literal{V: false}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		// Function call?
+		if p.accept(tokSymbol, "(") {
+			fn := strings.ToUpper(t.text)
+			if p.accept(tokSymbol, "*") {
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return Call{Fn: fn, Star: true}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Fn: fn, Arg: arg}, nil
+		}
+		// Qualified field?
+		name := t.text
+		if p.accept(tokSymbol, ".") {
+			f, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + f.text
+		}
+		return Field{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

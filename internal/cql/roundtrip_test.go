@@ -1,0 +1,116 @@
+package cql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genExpr produces a random well-formed expression of bounded depth.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Literal{V: float64(rng.Intn(100))}
+		case 1:
+			return Literal{V: "s" + string(rune('a'+rng.Intn(26)))}
+		case 2:
+			return Field{Name: string(rune('a' + rng.Intn(26)))}
+		default:
+			return Field{Name: "q." + string(rune('a'+rng.Intn(26)))}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Not{E: genBool(rng, depth-1)}
+	case 1:
+		return Neg{E: genExpr(rng, depth-1)}
+	case 2:
+		return Call{Fn: "AVG", Arg: genExpr(rng, depth-1)}
+	case 3:
+		return Call{Fn: "COUNT", Star: true}
+	default:
+		ops := []string{"+", "-", "*", "/", "=", "<", ">", "<=", ">=", "AND", "OR"}
+		return Binary{
+			Op: ops[rng.Intn(len(ops))],
+			L:  genExpr(rng, depth-1),
+			R:  genExpr(rng, depth-1),
+		}
+	}
+}
+
+func genBool(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return Literal{V: true}
+	}
+	return Binary{Op: ">", L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+}
+
+// TestExprStringReparseFixedPoint: the canonical form of any expression
+// must reparse to an expression with the same canonical form — the
+// property plan signatures and XML persistence rely on.
+func TestExprStringReparseFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		e := genExpr(rng, 4)
+		s := e.String()
+		back, err := ParseExpr(s)
+		if err != nil {
+			t.Fatalf("canonical form %q failed to reparse: %v", s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("not a fixed point:\n  original %q\n  reparsed %q", s, back.String())
+		}
+	}
+}
+
+// TestExprReparseEvaluatesEqually: reparsed expressions evaluate to the
+// same result on random tuples.
+func TestExprReparseEvaluatesEqually(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		e := genExpr(rng, 3)
+		back, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		tup := Tuple{}
+		for c := 'a'; c <= 'z'; c++ {
+			tup[string(c)] = rng.Intn(20)
+			tup["q."+string(c)] = rng.Intn(20)
+		}
+		v1, v2 := e.Eval(tup), back.Eval(tup)
+		if v1 != v2 {
+			t.Fatalf("%q evaluates differently after reparse: %v vs %v", e.String(), v1, v2)
+		}
+	}
+}
+
+// TestQueryTextReparseFixedPoint: full queries rebuilt from their parsed
+// parts must be stable under reparsing (spot-checked on templates with
+// randomized constants).
+func TestQueryTextReparseFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	templates := []func(int) string{
+		func(n int) string { return fmt.Sprintf("SELECT a FROM s [RANGE %d] WHERE a > %d", n+1, n) },
+		func(n int) string { return fmt.Sprintf("SELECT a, COUNT(*) AS c FROM s [ROWS %d] GROUP BY a", n+1) },
+		func(n int) string {
+			return fmt.Sprintf("ISTREAM(SELECT a FROM s [RANGE %d] WHERE a < %d AND a > 0)", n+1, n+100)
+		},
+	}
+	for trial := 0; trial < 100; trial++ {
+		text := templates[rng.Intn(len(templates))](rng.Intn(1000))
+		q1, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		// Where/having/select expressions must round-trip through their
+		// canonical strings.
+		if q1.Where != nil {
+			back, err := ParseExpr(q1.Where.String())
+			if err != nil || back.String() != q1.Where.String() {
+				t.Fatalf("%q: where round trip failed: %v", text, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package cursor
+
+import (
+	"sync"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// Stamper assigns a validity interval to a cursor value entering the
+// data-driven world.
+type Stamper func(v any) temporal.Interval
+
+// RelationStamp makes every value valid from t forever — the standard
+// mapping of a persistent relation into the temporal algebra (it then
+// joins against windowed streams).
+func RelationStamp(t temporal.Time) Stamper {
+	return func(any) temporal.Interval { return temporal.NewInterval(t, temporal.MaxTime) }
+}
+
+// SequenceStamp gives the i-th value the chronon [start+i·step,
+// start+i·step+1) — replaying a stored sequence as a stream.
+func SequenceStamp(start, step temporal.Time) Stamper {
+	i := temporal.Time(0)
+	return func(any) temporal.Interval {
+		iv := temporal.NewInterval(start+i*step, start+i*step+1)
+		i++
+		return iv
+	}
+}
+
+// Source adapts a cursor to a pubsub source (demand-driven → data-driven
+// translation): each EmitNext pulls one value, stamps it and publishes.
+type Source struct {
+	pubsub.SourceBase
+	cur   Cursor
+	stamp Stamper
+}
+
+// NewSource returns a stream source fed by cur.
+func NewSource(name string, cur Cursor, stamp Stamper) *Source {
+	if stamp == nil {
+		stamp = SequenceStamp(0, 1)
+	}
+	return &Source{SourceBase: pubsub.NewSourceBase(name), cur: cur, stamp: stamp}
+}
+
+// EmitNext implements pubsub.Emitter.
+func (s *Source) EmitNext() bool {
+	v, ok := s.cur.Next()
+	if !ok {
+		s.cur.Close()
+		s.SignalDone()
+		return false
+	}
+	s.Transfer(temporal.Element{Value: v, Interval: s.stamp(v)})
+	return true
+}
+
+// Sink adapts a stream to a cursor (data-driven → demand-driven
+// translation): elements are buffered as they are pushed, and Next blocks
+// until an element is available or the stream is done. Subscribe the Sink
+// to a source, then iterate Cursor() from a consumer goroutine.
+type Sink struct {
+	name string
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []temporal.Element
+	done bool
+}
+
+// NewSink returns a stream-to-cursor bridge expecting done on one input.
+func NewSink(name string) *Sink {
+	s := &Sink{name: name}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Name implements pubsub.Node.
+func (s *Sink) Name() string { return s.name }
+
+// Process implements pubsub.Sink.
+func (s *Sink) Process(e temporal.Element, _ int) {
+	s.mu.Lock()
+	s.buf = append(s.buf, e)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Done implements pubsub.Sink.
+func (s *Sink) Done(_ int) {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Cursor returns a cursor over the buffered elements' values; it blocks in
+// Next while the stream is still live but has produced nothing new.
+func (s *Sink) Cursor() Cursor {
+	pos := 0
+	return FromFunc(func() (any, bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for pos >= len(s.buf) && !s.done {
+			s.cond.Wait()
+		}
+		if pos >= len(s.buf) {
+			return nil, false
+		}
+		v := s.buf[pos].Value
+		pos++
+		return v, true
+	})
+}
+
+// Elements returns a snapshot of everything received so far, with
+// intervals (for historical queries over the buffered stream).
+func (s *Sink) Elements() []temporal.Element {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]temporal.Element, len(s.buf))
+	copy(out, s.buf)
+	return out
+}

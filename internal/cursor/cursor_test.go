@@ -1,0 +1,227 @@
+package cursor
+
+import (
+	"testing"
+
+	"pipes/internal/aggregate"
+	"pipes/internal/ops"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+func ints(vals ...int) []any {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+func eqSlices(t *testing.T, got, want []any) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFromSliceAndCollect(t *testing.T) {
+	eqSlices(t, Collect(FromSlice(ints(1, 2, 3))), ints(1, 2, 3))
+	eqSlices(t, Collect(FromSlice(nil)), nil)
+}
+
+func TestCloseStopsIteration(t *testing.T) {
+	c := FromSlice(ints(1, 2, 3))
+	c.Next()
+	c.Close()
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next after Close returned a value")
+	}
+}
+
+func TestFilterMapTake(t *testing.T) {
+	c := Take(Map(Filter(FromSlice(ints(1, 2, 3, 4, 5, 6)),
+		func(v any) bool { return v.(int)%2 == 0 }),
+		func(v any) any { return v.(int) * 10 }), 2)
+	eqSlices(t, Collect(c), ints(20, 40))
+}
+
+func TestConcat(t *testing.T) {
+	c := Concat(FromSlice(ints(1)), FromSlice(nil), FromSlice(ints(2, 3)))
+	eqSlices(t, Collect(c), ints(1, 2, 3))
+}
+
+func TestNestedLoopsJoin(t *testing.T) {
+	left := FromSlice(ints(1, 2, 3))
+	right := func() Cursor { return FromSlice(ints(2, 3, 4)) }
+	c := NestedLoopsJoin(left, right,
+		func(l, r any) bool { return l == r },
+		func(l, r any) any { return l.(int) * 100 })
+	eqSlices(t, Collect(c), ints(200, 300))
+}
+
+func TestHashJoin(t *testing.T) {
+	left := FromSlice(ints(1, 2, 3, 12))
+	right := FromSlice(ints(11, 12, 13))
+	key := func(v any) any { return v.(int) % 10 }
+	c := HashJoin(left, right, key, key, func(l, r any) any { return [2]any{l, r} })
+	got := Collect(c)
+	want := []any{[2]any{1, 11}, [2]any{2, 12}, [2]any{3, 13}, [2]any{12, 12}}
+	eqSlices(t, got, want)
+}
+
+func TestHashJoinDuplicateKeys(t *testing.T) {
+	left := FromSlice(ints(1))
+	right := FromSlice(ints(1, 11, 21))
+	key := func(v any) any { return v.(int) % 10 }
+	c := HashJoin(left, right, key, key, func(l, r any) any { return r })
+	eqSlices(t, Collect(c), ints(1, 11, 21))
+}
+
+func TestSort(t *testing.T) {
+	c := Sort(FromSlice(ints(3, 1, 2)), func(a, b any) bool { return a.(int) < b.(int) })
+	eqSlices(t, Collect(c), ints(1, 2, 3))
+}
+
+func TestDistinct(t *testing.T) {
+	c := Distinct(FromSlice(ints(1, 1, 2, 1, 3, 2)), nil)
+	eqSlices(t, Collect(c), ints(1, 2, 3))
+}
+
+func TestGroupByCursor(t *testing.T) {
+	c := GroupBy(FromSlice(ints(1, 2, 3, 4, 5)),
+		func(v any) any { return v.(int) % 2 },
+		aggregate.NewCount)
+	got := Collect(c)
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	odd := got[0].(Grouped)
+	if odd.Key != 1 || odd.Agg != int64(3) {
+		t.Fatalf("first group = %v", odd)
+	}
+}
+
+func TestAggregateCursor(t *testing.T) {
+	got := Aggregate(FromSlice(ints(1, 2, 3, 4)), aggregate.NewSum)
+	if got != 10.0 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestCursorToStream(t *testing.T) {
+	src := NewSource("rel", FromSlice(ints(7, 8, 9)), SequenceStamp(100, 5))
+	col := pubsub.NewCollector("col", 1)
+	src.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	elems := col.Elements()
+	if len(elems) != 3 {
+		t.Fatalf("stream got %d elements", len(elems))
+	}
+	if elems[0].Start != 100 || elems[1].Start != 105 || elems[2].Start != 110 {
+		t.Fatalf("stamps wrong: %v", elems)
+	}
+}
+
+func TestRelationStamp(t *testing.T) {
+	src := NewSource("rel", FromSlice(ints(1)), RelationStamp(50))
+	col := pubsub.NewCollector("col", 1)
+	src.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	e := col.Elements()[0]
+	if e.Start != 50 || e.End != temporal.MaxTime {
+		t.Fatalf("relation stamp = %v", e)
+	}
+}
+
+func TestStreamToCursor(t *testing.T) {
+	sink := NewSink("bridge")
+	got := make(chan []any, 1)
+	go func() { got <- Collect(sink.Cursor()) }()
+	for i := 0; i < 5; i++ {
+		sink.Process(temporal.At(i, temporal.Time(i)), 0)
+	}
+	sink.Done(0)
+	eqSlices(t, <-got, ints(0, 1, 2, 3, 4))
+	if len(sink.Elements()) != 5 {
+		t.Fatal("Elements snapshot wrong")
+	}
+}
+
+func TestRoundTripStreamCursorStream(t *testing.T) {
+	// E14: data-driven → demand-driven → data-driven must preserve values.
+	src := pubsub.NewSliceSource("src", []temporal.Element{
+		temporal.At(1, 0), temporal.At(2, 1), temporal.At(3, 2),
+	})
+	bridge := NewSink("bridge")
+	src.Subscribe(bridge, 0)
+	pubsub.Drive(src)
+
+	// Demand-driven processing in the middle.
+	doubled := Map(bridge.Cursor(), func(v any) any { return v.(int) * 2 })
+
+	back := NewSource("back", doubled, SequenceStamp(0, 1))
+	col := pubsub.NewCollector("col", 1)
+	back.Subscribe(col, 0)
+	pubsub.Drive(back)
+	col.Wait()
+	eqSlices(t, col.Values(), ints(2, 4, 6))
+}
+
+func TestCursorStreamEquivalence(t *testing.T) {
+	// E14: the same logical query evaluated demand-driven (cursors) and
+	// data-driven (operators) must agree.
+	vals := ints(5, 3, 8, 1, 9, 4, 7)
+
+	// Demand-driven: filter > 4, count.
+	cGot := Aggregate(Filter(FromSlice(vals), func(v any) bool { return v.(int) > 4 }), aggregate.NewCount)
+
+	// Data-driven: same query via the operator algebra.
+	elems := make([]temporal.Element, len(vals))
+	for i, v := range vals {
+		elems[i] = temporal.NewElement(v, 0, 1) // all valid at t=0
+	}
+	src := pubsub.NewSliceSource("src", elems)
+	f := ops.NewFilter("f", func(v any) bool { return v.(int) > 4 })
+	agg := ops.NewAggregate("cnt", aggregate.NewCount)
+	col := pubsub.NewCollector("col", 1)
+	src.Subscribe(f, 0)
+	f.Subscribe(agg, 0)
+	agg.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if len(col.Values()) != 1 {
+		t.Fatalf("stream aggregate output: %v", col.Values())
+	}
+	if col.Values()[0] != cGot {
+		t.Fatalf("demand-driven %v != data-driven %v", cGot, col.Values()[0])
+	}
+}
+
+func TestSkip(t *testing.T) {
+	eqSlices(t, Collect(Skip(FromSlice(ints(1, 2, 3, 4)), 2)), ints(3, 4))
+	eqSlices(t, Collect(Skip(FromSlice(ints(1)), 5)), nil)
+	eqSlices(t, Collect(Skip(FromSlice(ints(1, 2)), 0)), ints(1, 2))
+}
+
+func TestMerge(t *testing.T) {
+	less := func(a, b any) bool { return a.(int) < b.(int) }
+	got := Collect(Merge(less,
+		FromSlice(ints(1, 4, 7)),
+		FromSlice(ints(2, 3, 9)),
+		FromSlice(nil),
+		FromSlice(ints(5)),
+	))
+	eqSlices(t, got, ints(1, 2, 3, 4, 5, 7, 9))
+}
+
+func TestMergeEmpty(t *testing.T) {
+	less := func(a, b any) bool { return a.(int) < b.(int) }
+	eqSlices(t, Collect(Merge(less)), nil)
+}

@@ -1,0 +1,274 @@
+// Package memory implements PIPES' adaptive memory management framework:
+// memory-consuming operators (joins, group-bys, buffers) subscribe to a
+// Manager holding a global byte budget; the manager assigns and
+// redistributes budgets at runtime as demand shifts, and when an operator
+// exceeds its assignment it applies that subscription's user-defined
+// load-shedding strategy [cf. Aurora, 8] — dropping soonest-expiring
+// state, dropping randomly, or shrinking windows — trading exact answers
+// for bounded memory (experiment E7).
+package memory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// User is the minimal capability a managed operator must expose.
+type User interface {
+	Name() string
+	// MemoryUsage returns the operator's current footprint in bytes.
+	MemoryUsage() int
+}
+
+// Shedder is the capability to release state by dropping entries
+// (soonest-expiring first, per the SweepArea contract).
+type Shedder interface {
+	// ShedBytes releases approximately n bytes and returns how many were
+	// actually released.
+	ShedBytes(n int) int
+}
+
+// WindowShrinker is the capability to reduce an upstream window so less
+// state accumulates in the first place.
+type WindowShrinker interface {
+	// Shrink scales the window length by factor ∈ (0,1).
+	Shrink(factor float64)
+}
+
+// Strategy reduces a user's footprint by roughly excess bytes and returns
+// the bytes actually released (0 if the strategy does not apply).
+type Strategy func(u User, excess int) int
+
+// DropState sheds stored entries if the user is a Shedder.
+func DropState() Strategy {
+	return func(u User, excess int) int {
+		if s, ok := u.(Shedder); ok {
+			return s.ShedBytes(excess)
+		}
+		return 0
+	}
+}
+
+// ShrinkWindow shrinks the user's window by factor if it is a
+// WindowShrinker and additionally sheds state to realise the reduction
+// immediately.
+func ShrinkWindow(factor float64) Strategy {
+	return func(u User, excess int) int {
+		if w, ok := u.(WindowShrinker); ok {
+			w.Shrink(factor)
+		}
+		if s, ok := u.(Shedder); ok {
+			return s.ShedBytes(excess)
+		}
+		return 0
+	}
+}
+
+// NoShedding never releases anything; the subscription only participates
+// in budget accounting. Useful for monitoring-only subscriptions.
+func NoShedding() Strategy { return func(User, int) int { return 0 } }
+
+// Subscription is one managed operator.
+type Subscription struct {
+	user     User
+	strategy Strategy
+	weight   float64
+	limit    int
+	shedB    int64
+	shedEv   int64
+}
+
+// Limit returns the currently assigned byte budget.
+func (s *Subscription) Limit() int { return s.limit }
+
+// ShedBytesTotal returns the total bytes this subscription has shed.
+func (s *Subscription) ShedBytesTotal() int64 { return s.shedB }
+
+// ShedEvents returns how often shedding was triggered.
+func (s *Subscription) ShedEvents() int64 { return s.shedEv }
+
+// Manager owns the global budget.
+type Manager struct {
+	mu    sync.Mutex
+	total int
+	subs  []*Subscription
+}
+
+// NewManager returns a manager with a global budget of total bytes
+// (total <= 0 means unlimited: assignments become effectively infinite).
+func NewManager(total int) *Manager { return &Manager{total: total} }
+
+// Subscribe registers a user with a shedding strategy and a relative
+// weight (>0) governing its budget share, then redistributes.
+func (m *Manager) Subscribe(u User, strategy Strategy, weight float64) *Subscription {
+	if u == nil {
+		panic("memory: nil user")
+	}
+	if strategy == nil {
+		strategy = DropState()
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	sub := &Subscription{user: u, strategy: strategy, weight: weight}
+	m.mu.Lock()
+	m.subs = append(m.subs, sub)
+	m.redistributeLocked()
+	m.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe removes a subscription and redistributes its budget.
+func (m *Manager) Unsubscribe(sub *Subscription) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.subs {
+		if s == sub {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			m.redistributeLocked()
+			return
+		}
+	}
+}
+
+// Redistribute recomputes all assignments from current weights and demand.
+func (m *Manager) Redistribute() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.redistributeLocked()
+}
+
+// redistributeLocked assigns each subscription its weighted base share,
+// then moves surplus (base share unused by low-demand users) to users
+// whose demand exceeds their base — the adaptive part: budgets follow
+// demand at runtime.
+func (m *Manager) redistributeLocked() {
+	if len(m.subs) == 0 {
+		return
+	}
+	if m.total <= 0 {
+		for _, s := range m.subs {
+			s.limit = int(^uint(0) >> 1) // unlimited
+		}
+		return
+	}
+	var sumW float64
+	for _, s := range m.subs {
+		sumW += s.weight
+	}
+	surplus := 0
+	var needy []*Subscription
+	deficit := 0
+	for _, s := range m.subs {
+		base := int(float64(m.total) * s.weight / sumW)
+		use := s.user.MemoryUsage()
+		if use < base {
+			// Demand below share: keep headroom of 2x demand (so the
+			// operator can grow), release the rest.
+			keep := use * 2
+			if keep > base {
+				keep = base
+			}
+			s.limit = keep
+			surplus += base - keep
+		} else {
+			s.limit = base
+			needy = append(needy, s)
+			deficit += use - base
+		}
+	}
+	if surplus > 0 && deficit > 0 {
+		for _, s := range needy {
+			need := s.user.MemoryUsage() - s.limit
+			grant := int(float64(surplus) * float64(need) / float64(deficit))
+			s.limit += grant
+		}
+	}
+}
+
+// Enforce applies each subscription's strategy to any usage above its
+// assignment and returns the total bytes shed.
+func (m *Manager) Enforce() int {
+	m.mu.Lock()
+	subs := make([]*Subscription, len(m.subs))
+	copy(subs, m.subs)
+	m.mu.Unlock()
+	total := 0
+	for _, s := range subs {
+		use := s.user.MemoryUsage()
+		if use <= s.limit {
+			continue
+		}
+		freed := s.strategy(s.user, use-s.limit)
+		m.mu.Lock()
+		s.shedB += int64(freed)
+		s.shedEv++
+		m.mu.Unlock()
+		total += freed
+	}
+	return total
+}
+
+// Step is one manager cycle: redistribute then enforce. Call it from the
+// runtime loop (or Run).
+func (m *Manager) Step() int {
+	m.Redistribute()
+	return m.Enforce()
+}
+
+// Run steps the manager every interval until stop is closed.
+func (m *Manager) Run(stop <-chan struct{}, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			m.Step()
+		}
+	}
+}
+
+// TotalUsage returns the summed footprint of all subscriptions.
+func (m *Manager) TotalUsage() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.subs {
+		n += s.user.MemoryUsage()
+	}
+	return n
+}
+
+// Budget returns the global budget (0 or negative = unlimited).
+func (m *Manager) Budget() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// SetBudget changes the global budget at runtime and redistributes.
+func (m *Manager) SetBudget(total int) {
+	m.mu.Lock()
+	m.total = total
+	m.redistributeLocked()
+	m.mu.Unlock()
+}
+
+// Report renders a per-subscription usage table (for cmd/pipesmon).
+func (m *Manager) Report() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	subs := make([]*Subscription, len(m.subs))
+	copy(subs, m.subs)
+	sort.Slice(subs, func(i, j int) bool { return subs[i].user.Name() < subs[j].user.Name() })
+	out := ""
+	for _, s := range subs {
+		out += fmt.Sprintf("%-20s usage=%-10d limit=%-10d shed=%d (%d events)\n",
+			s.user.Name(), s.user.MemoryUsage(), s.limit, s.shedB, s.shedEv)
+	}
+	return out
+}

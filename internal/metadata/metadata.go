@@ -1,0 +1,376 @@
+// Package metadata implements PIPES' secondary-metadata framework: a
+// configurable decorator that wraps arbitrary nodes of a running query
+// graph and maintains iteratively computed inferential estimators —
+// input/output rates, selectivity, subscriber count, memory usage, and
+// averages/variances of those quantities — in the style of online
+// aggregation. The runtime components (scheduler, memory manager,
+// optimizer) parameterise their strategies with this metadata, and the
+// monitor tool (cmd/pipesmon) visualises it.
+//
+// The metric composition of a decorated node can be altered at runtime
+// with SetKinds, matching the paper's requirement.
+package metadata
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pipes/internal/aggregate"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// Kind identifies one secondary-metadata quantity.
+type Kind string
+
+// The supported metadata kinds.
+const (
+	InputCount      Kind = "input_count"
+	OutputCount     Kind = "output_count"
+	InputRate       Kind = "input_rate"  // elements/second, EWMA-smoothed
+	OutputRate      Kind = "output_rate" // elements/second, EWMA-smoothed
+	Selectivity     Kind = "selectivity" // outputs per input
+	Subscribers     Kind = "subscribers"
+	MemoryUsage     Kind = "memory_usage" // bytes, if the node reports it
+	InputRateAvg    Kind = "input_rate_avg"
+	InputRateVar    Kind = "input_rate_var"
+	OutputRateAvg   Kind = "output_rate_avg"
+	OutputRateVar   Kind = "output_rate_var"
+	ProcessingCost  Kind = "processing_cost_ns" // mean ns spent per input element
+	QueueLen        Kind = "queue_len"          // buffered elements, for Buffer nodes
+	LastInputStamp  Kind = "last_input_ts"      // application time of last input
+	LastOutputStamp Kind = "last_output_ts"
+)
+
+// AllKinds lists every supported kind, sorted, for tools that enumerate.
+func AllKinds() []Kind {
+	ks := []Kind{
+		InputCount, OutputCount, InputRate, OutputRate, Selectivity,
+		Subscribers, MemoryUsage, InputRateAvg, InputRateVar, OutputRateAvg,
+		OutputRateVar, ProcessingCost, QueueLen, LastInputStamp, LastOutputStamp,
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Clock abstracts wall time so estimators are deterministic under test.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock reads the real time.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a fake clock starting at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{t: start} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// MemoryReporter is implemented by nodes that can report their memory
+// footprint (stateful operators; see internal/memory).
+type MemoryReporter interface {
+	MemoryUsage() int
+}
+
+// rateEstimator EWMA-smooths instantaneous event rates and tracks their
+// mean and variance with the shared online aggregates.
+type rateEstimator struct {
+	alpha float64
+	last  time.Time
+	rate  float64
+	avg   aggregate.Aggregate
+	vari  aggregate.Aggregate
+}
+
+func newRateEstimator(alpha float64) *rateEstimator {
+	return &rateEstimator{alpha: alpha, avg: aggregate.NewAvg(), vari: aggregate.NewVariance()}
+}
+
+func (r *rateEstimator) observe(now time.Time) {
+	if r.last.IsZero() {
+		r.last = now
+		return
+	}
+	dt := now.Sub(r.last).Seconds()
+	r.last = now
+	if dt <= 0 {
+		return
+	}
+	inst := 1.0 / dt
+	if r.rate == 0 {
+		r.rate = inst
+	} else {
+		r.rate = r.alpha*inst + (1-r.alpha)*r.rate
+	}
+	r.avg.Insert(inst)
+	r.vari.Insert(inst)
+}
+
+func (r *rateEstimator) value() float64 { return r.rate }
+
+func (r *rateEstimator) mean() float64 {
+	if v := r.avg.Value(); v != nil {
+		return v.(float64)
+	}
+	return 0
+}
+
+func (r *rateEstimator) variance() float64 {
+	if v := r.vari.Value(); v != nil {
+		return v.(float64)
+	}
+	return 0
+}
+
+// Monitored decorates a pipe with secondary metadata. It interposes on the
+// sink side (counting/costing inputs) and taps the source side (counting
+// outputs); external subscribers attach to the decorator, which re-publishes
+// the inner node's output unchanged.
+type Monitored struct {
+	pubsub.SourceBase
+	inner pubsub.Pipe
+	clock Clock
+
+	mu       sync.Mutex
+	kinds    map[Kind]bool
+	inCount  int64
+	outCount int64
+	inRate   *rateEstimator
+	outRate  *rateEstimator
+	costNS   float64 // mean ns per processed input (EWMA)
+	lastIn   temporal.Time
+	lastOut  temporal.Time
+}
+
+// Option configures a Monitored decorator.
+type Option func(*Monitored)
+
+// WithClock substitutes the time source (tests use FakeClock).
+func WithClock(c Clock) Option { return func(m *Monitored) { m.clock = c } }
+
+// WithKinds restricts the computed metrics to the given kinds. By default
+// all kinds are active.
+func WithKinds(kinds ...Kind) Option {
+	return func(m *Monitored) {
+		m.kinds = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			m.kinds[k] = true
+		}
+	}
+}
+
+// NewMonitored wraps inner with a metadata decorator. The decorator is a
+// Pipe: route upstream subscriptions to it and subscribe downstream sinks
+// to it.
+func NewMonitored(inner pubsub.Pipe, opts ...Option) *Monitored {
+	m := &Monitored{
+		SourceBase: pubsub.NewSourceBase(inner.Name() + "~mon"),
+		inner:      inner,
+		clock:      SystemClock{},
+		inRate:     newRateEstimator(0.2),
+		outRate:    newRateEstimator(0.2),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.kinds == nil {
+		m.kinds = map[Kind]bool{}
+		for _, k := range AllKinds() {
+			m.kinds[k] = true
+		}
+	}
+	inner.Subscribe((*monitorTap)(m), 0)
+	return m
+}
+
+// monitorTap is the internal sink the decorator plants on the inner node's
+// output side.
+type monitorTap Monitored
+
+// Name implements pubsub.Node.
+func (t *monitorTap) Name() string { return (*Monitored)(t).Name() + "~tap" }
+
+// Process implements pubsub.Sink.
+func (t *monitorTap) Process(e temporal.Element, _ int) {
+	m := (*Monitored)(t)
+	m.recordOut(e)
+	m.Transfer(e)
+}
+
+// Done implements pubsub.Sink.
+func (t *monitorTap) Done(_ int) { (*Monitored)(t).SignalDone() }
+
+// Inner returns the decorated pipe.
+func (m *Monitored) Inner() pubsub.Pipe { return m.inner }
+
+// MemoryUsage delegates to the inner node so decoration stays transparent
+// to the memory manager.
+func (m *Monitored) MemoryUsage() int {
+	if r, ok := m.inner.(MemoryReporter); ok {
+		return r.MemoryUsage()
+	}
+	return 0
+}
+
+// ShedBytes delegates load shedding to the inner node.
+func (m *Monitored) ShedBytes(n int) int {
+	if s, ok := m.inner.(interface{ ShedBytes(int) int }); ok {
+		return s.ShedBytes(n)
+	}
+	return 0
+}
+
+// Shrink delegates window shrinking to the inner node.
+func (m *Monitored) Shrink(factor float64) {
+	if s, ok := m.inner.(interface{ Shrink(float64) }); ok {
+		s.Shrink(factor)
+	}
+}
+
+// Process implements pubsub.Sink: record, optionally time, and forward.
+func (m *Monitored) Process(e temporal.Element, input int) {
+	m.mu.Lock()
+	now := m.clock.Now()
+	m.inCount++
+	if m.kinds[InputRate] || m.kinds[InputRateAvg] || m.kinds[InputRateVar] {
+		m.inRate.observe(now)
+	}
+	m.lastIn = e.Start
+	timing := m.kinds[ProcessingCost]
+	m.mu.Unlock()
+
+	if timing {
+		start := time.Now()
+		m.inner.Process(e, input)
+		elapsed := float64(time.Since(start).Nanoseconds())
+		m.mu.Lock()
+		if m.costNS == 0 {
+			m.costNS = elapsed
+		} else {
+			m.costNS = 0.2*elapsed + 0.8*m.costNS
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.inner.Process(e, input)
+}
+
+// Done implements pubsub.Sink.
+func (m *Monitored) Done(input int) { m.inner.Done(input) }
+
+func (m *Monitored) recordOut(e temporal.Element) {
+	m.mu.Lock()
+	m.outCount++
+	if m.kinds[OutputRate] || m.kinds[OutputRateAvg] || m.kinds[OutputRateVar] {
+		m.outRate.observe(m.clock.Now())
+	}
+	m.lastOut = e.Start
+	m.mu.Unlock()
+}
+
+// SetKinds replaces the active metric composition at runtime.
+func (m *Monitored) SetKinds(kinds ...Kind) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.kinds = make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		m.kinds[k] = true
+	}
+}
+
+// Kinds returns the active metric kinds, sorted.
+func (m *Monitored) Kinds() []Kind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Kind, 0, len(m.kinds))
+	for k := range m.kinds {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Get returns the current value of one metric and whether that kind is
+// active and defined for this node.
+func (m *Monitored) Get(k Kind) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.kinds[k] {
+		return 0, false
+	}
+	switch k {
+	case InputCount:
+		return float64(m.inCount), true
+	case OutputCount:
+		return float64(m.outCount), true
+	case InputRate:
+		return m.inRate.value(), true
+	case OutputRate:
+		return m.outRate.value(), true
+	case InputRateAvg:
+		return m.inRate.mean(), true
+	case InputRateVar:
+		return m.inRate.variance(), true
+	case OutputRateAvg:
+		return m.outRate.mean(), true
+	case OutputRateVar:
+		return m.outRate.variance(), true
+	case Selectivity:
+		if m.inCount == 0 {
+			return 0, false
+		}
+		return float64(m.outCount) / float64(m.inCount), true
+	case Subscribers:
+		return float64(len(m.Subscriptions())), true
+	case ProcessingCost:
+		return m.costNS, true
+	case LastInputStamp:
+		return float64(m.lastIn), true
+	case LastOutputStamp:
+		return float64(m.lastOut), true
+	case MemoryUsage:
+		if r, ok := m.inner.(MemoryReporter); ok {
+			return float64(r.MemoryUsage()), true
+		}
+		return 0, false
+	case QueueLen:
+		if b, ok := m.inner.(interface{ Len() int }); ok {
+			return float64(b.Len()), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Snapshot returns every active, defined metric.
+func (m *Monitored) Snapshot() map[Kind]float64 {
+	out := map[Kind]float64{}
+	for _, k := range m.Kinds() {
+		if v, ok := m.Get(k); ok {
+			out[k] = v
+		}
+	}
+	return out
+}

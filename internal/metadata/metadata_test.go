@@ -1,0 +1,210 @@
+package metadata
+
+import (
+	"testing"
+	"time"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// passPipe forwards every even value, dropping odds (selectivity 0.5 on
+// alternating input), so selectivity is observable.
+type passPipe struct {
+	pubsub.PipeBase
+	mem int
+}
+
+func newPassPipe() *passPipe {
+	return &passPipe{PipeBase: pubsub.NewPipeBase("pass", 1)}
+}
+
+func (p *passPipe) Process(e temporal.Element, _ int) {
+	p.ProcMu.Lock()
+	defer p.ProcMu.Unlock()
+	if e.Value.(int)%2 == 0 {
+		p.Transfer(e)
+	}
+}
+
+func (p *passPipe) MemoryUsage() int { return p.mem }
+
+func pump(m *Monitored, n int) *pubsub.Collector {
+	col := pubsub.NewCollector("col", 1)
+	m.Subscribe(col, 0)
+	for i := 0; i < n; i++ {
+		m.Process(temporal.At(i, temporal.Time(i)), 0)
+	}
+	m.Done(0)
+	col.Wait()
+	return col
+}
+
+func TestCountsAndSelectivity(t *testing.T) {
+	m := NewMonitored(newPassPipe())
+	col := pump(m, 10)
+	if col.Len() != 5 {
+		t.Fatalf("downstream received %d, want 5", col.Len())
+	}
+	if v, ok := m.Get(InputCount); !ok || v != 10 {
+		t.Errorf("InputCount = (%v,%v), want (10,true)", v, ok)
+	}
+	if v, ok := m.Get(OutputCount); !ok || v != 5 {
+		t.Errorf("OutputCount = (%v,%v), want (5,true)", v, ok)
+	}
+	if v, ok := m.Get(Selectivity); !ok || v != 0.5 {
+		t.Errorf("Selectivity = (%v,%v), want (0.5,true)", v, ok)
+	}
+}
+
+func TestSubscribersMetric(t *testing.T) {
+	m := NewMonitored(newPassPipe())
+	m.Subscribe(pubsub.NewCollector("a", 1), 0)
+	m.Subscribe(pubsub.NewCollector("b", 1), 0)
+	if v, ok := m.Get(Subscribers); !ok || v != 2 {
+		t.Errorf("Subscribers = (%v,%v), want (2,true)", v, ok)
+	}
+}
+
+func TestRatesWithFakeClock(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	m := NewMonitored(newPassPipe(), WithClock(clock))
+	m.Subscribe(pubsub.NewCollector("col", 1), 0)
+	// One input every 10ms => instantaneous rate 100/s.
+	for i := 0; i < 50; i++ {
+		m.Process(temporal.At(i*2, temporal.Time(i)), 0) // even: all pass
+		clock.Advance(10 * time.Millisecond)
+	}
+	in, ok := m.Get(InputRate)
+	if !ok {
+		t.Fatal("InputRate inactive")
+	}
+	if in < 90 || in > 110 {
+		t.Errorf("InputRate = %v, want ~100", in)
+	}
+	avg, _ := m.Get(InputRateAvg)
+	if avg < 90 || avg > 110 {
+		t.Errorf("InputRateAvg = %v, want ~100", avg)
+	}
+	vr, _ := m.Get(InputRateVar)
+	if vr > 1 {
+		t.Errorf("InputRateVar = %v, want ~0 for constant spacing", vr)
+	}
+	out, _ := m.Get(OutputRate)
+	if out < 80 || out > 120 {
+		t.Errorf("OutputRate = %v, want ~100", out)
+	}
+}
+
+func TestMemoryUsageMetric(t *testing.T) {
+	p := newPassPipe()
+	p.mem = 4096
+	m := NewMonitored(p)
+	if v, ok := m.Get(MemoryUsage); !ok || v != 4096 {
+		t.Errorf("MemoryUsage = (%v,%v), want (4096,true)", v, ok)
+	}
+}
+
+func TestQueueLenMetric(t *testing.T) {
+	buf := pubsub.NewBuffer("buf")
+	m := NewMonitored(buf)
+	m.Process(temporal.At(1, 1), 0)
+	m.Process(temporal.At(2, 2), 0)
+	if v, ok := m.Get(QueueLen); !ok || v != 2 {
+		t.Errorf("QueueLen = (%v,%v), want (2,true)", v, ok)
+	}
+}
+
+func TestSetKindsAtRuntime(t *testing.T) {
+	m := NewMonitored(newPassPipe(), WithKinds(InputCount))
+	m.Subscribe(pubsub.NewCollector("col", 1), 0)
+	m.Process(temporal.At(0, 0), 0)
+	if _, ok := m.Get(OutputCount); ok {
+		t.Error("OutputCount active despite WithKinds(InputCount)")
+	}
+	m.SetKinds(InputCount, OutputCount, Selectivity)
+	if _, ok := m.Get(OutputCount); !ok {
+		t.Error("OutputCount inactive after SetKinds")
+	}
+	got := m.Kinds()
+	if len(got) != 3 {
+		t.Errorf("Kinds = %v, want 3 entries", got)
+	}
+}
+
+func TestSnapshotContainsActiveDefinedMetrics(t *testing.T) {
+	m := NewMonitored(newPassPipe(), WithKinds(InputCount, OutputCount, MemoryUsage))
+	m.Subscribe(pubsub.NewCollector("col", 1), 0)
+	m.Process(temporal.At(2, 0), 0)
+	snap := m.Snapshot()
+	if snap[InputCount] != 1 || snap[OutputCount] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if _, present := snap[InputRate]; present {
+		t.Error("snapshot contains inactive kind")
+	}
+}
+
+func TestProcessingCostMeasured(t *testing.T) {
+	m := NewMonitored(newPassPipe(), WithKinds(ProcessingCost))
+	m.Subscribe(pubsub.NewCollector("col", 1), 0)
+	for i := 0; i < 100; i++ {
+		m.Process(temporal.At(i*2, temporal.Time(i)), 0)
+	}
+	if v, ok := m.Get(ProcessingCost); !ok || v <= 0 {
+		t.Errorf("ProcessingCost = (%v,%v), want positive", v, ok)
+	}
+}
+
+func TestTimestampMetrics(t *testing.T) {
+	m := NewMonitored(newPassPipe())
+	m.Subscribe(pubsub.NewCollector("col", 1), 0)
+	m.Process(temporal.At(2, 42), 0)
+	if v, _ := m.Get(LastInputStamp); v != 42 {
+		t.Errorf("LastInputStamp = %v, want 42", v)
+	}
+	if v, _ := m.Get(LastOutputStamp); v != 42 {
+		t.Errorf("LastOutputStamp = %v, want 42", v)
+	}
+}
+
+func TestDecoratorTransparency(t *testing.T) {
+	// Same pipeline with and without decoration must produce identical
+	// output, including done propagation.
+	run := func(decorate bool) []any {
+		src := pubsub.NewSliceSource("src", []temporal.Element{
+			temporal.At(0, 0), temporal.At(1, 1), temporal.At(2, 2), temporal.At(3, 3),
+		})
+		var node pubsub.Pipe = newPassPipe()
+		if decorate {
+			node = NewMonitored(node)
+		}
+		col := pubsub.NewCollector("col", 1)
+		src.Subscribe(node, 0)
+		node.Subscribe(col, 0)
+		pubsub.Drive(src)
+		col.Wait()
+		return col.Values()
+	}
+	plain, decorated := run(false), run(true)
+	if len(plain) != len(decorated) {
+		t.Fatalf("decoration changed output: %v vs %v", plain, decorated)
+	}
+	for i := range plain {
+		if plain[i] != decorated[i] {
+			t.Fatalf("decoration changed output at %d: %v vs %v", i, plain[i], decorated[i])
+		}
+	}
+}
+
+func TestAllKindsSortedAndComplete(t *testing.T) {
+	ks := AllKinds()
+	if len(ks) != 15 {
+		t.Errorf("AllKinds returned %d kinds", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Errorf("AllKinds not sorted: %v", ks)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package nexmark
+
+import (
+	"testing"
+
+	"pipes/internal/cql"
+	"pipes/internal/cursor"
+	"pipes/internal/optimizer"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+func TestGeneratorDeterministicOrderedMix(t *testing.T) {
+	mk := func() []Event {
+		g := NewGenerator(Config{Seed: 4, MaxEvents: 5000}, nil)
+		var out []Event
+		for {
+			ev, ok := g.Next()
+			if !ok {
+				break
+			}
+			out = append(out, ev)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if len(a) != 5000 {
+		t.Fatalf("generated %d events", len(a))
+	}
+	counts := map[EventKind]int{}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Time != b[i].Time {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+		if i > 0 && a[i].Time < a[i-1].Time {
+			t.Fatalf("events unordered at %d", i)
+		}
+		counts[a[i].Kind]++
+	}
+	// 1:3:46 → bids dominate heavily, persons rarest.
+	if counts[EvBid] < counts[EvAuction] || counts[EvAuction] < counts[EvPerson] {
+		t.Fatalf("event mix off: %v", counts)
+	}
+	if counts[EvBid] < 4000 {
+		t.Fatalf("bid share too small: %v", counts)
+	}
+}
+
+func TestBidsReferenceExistingEntities(t *testing.T) {
+	store := NewStore()
+	g := NewGenerator(Config{Seed: 9, MaxEvents: 2000}, store)
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind != EvBid {
+			continue
+		}
+		if _, ok := store.Auction(ev.Bid.Auction); !ok {
+			t.Fatalf("bid references unknown auction %d", ev.Bid.Auction)
+		}
+		if _, ok := store.Person(ev.Bid.Bidder); !ok {
+			t.Fatalf("bid references unknown person %d", ev.Bid.Bidder)
+		}
+	}
+}
+
+func TestStoreCursors(t *testing.T) {
+	store := NewStore()
+	g := NewGenerator(Config{Seed: 2, MaxEvents: 500}, store)
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	persons := cursor.Collect(store.PersonsCursor())
+	if len(persons) != store.PersonCount() {
+		t.Fatalf("cursor yielded %d persons, store has %d", len(persons), store.PersonCount())
+	}
+	for _, p := range persons {
+		tp := p.(cql.Tuple)
+		if _, ok := tp.Get("name"); !ok {
+			t.Fatalf("person tuple missing name: %v", tp)
+		}
+	}
+	auctions := cursor.Collect(store.AuctionsCursor())
+	if len(auctions) == 0 {
+		t.Fatal("no auctions in store")
+	}
+}
+
+func TestHighestBidQueryEndToEnd(t *testing.T) {
+	g := NewGenerator(Config{Seed: 21, MaxEvents: 30000}, nil)
+	cat := optimizer.NewCatalog()
+	src := g.BidSource("bids")
+	cat.Register("bids", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryHighestBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() == 0 {
+		t.Fatal("no window maxima produced")
+	}
+	for _, e := range col.Elements() {
+		// Tumbling windows: every result interval must span one granule.
+		if e.Start%600000 != 0 {
+			t.Fatalf("window result not aligned: %v", e.Interval)
+		}
+		hv, ok := e.Value.(cql.Tuple).Get("highest")
+		if !ok {
+			t.Fatalf("missing highest in %v", e.Value)
+		}
+		if f := hv.(float64); f <= 0 || f > 1000 {
+			t.Fatalf("implausible max price %v", f)
+		}
+	}
+}
+
+func TestStreamRelationJoinEndToEnd(t *testing.T) {
+	store := NewStore()
+	g := NewGenerator(Config{Seed: 31, MaxEvents: 5000}, store)
+
+	// Drain the generator first so the store is fully populated, keeping
+	// the bid events for replay.
+	var bids []temporal.Element
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == EvBid {
+			bids = append(bids, temporal.At(BidTuple(ev.Bid), ev.Time))
+		}
+	}
+
+	cat := optimizer.NewCatalog()
+	bidSrc := pubsub.NewSliceSource("bids", bids)
+	// The persistent person table enters the graph demand-driven via the
+	// cursor bridge, stamped as a relation.
+	personSrc := cursor.NewSource("persons", store.PersonsCursor(), cursor.RelationStamp(0))
+	cat.Register("bids", bidSrc, 1000)
+	cat.Register("persons", personSrc, 10)
+
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryBidderJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(personSrc) // relation first
+	pubsub.Drive(bidSrc)
+	col.Wait()
+	if col.Len() != len(bids) {
+		t.Fatalf("join produced %d results for %d bids", col.Len(), len(bids))
+	}
+	for _, v := range col.Values() {
+		tp := v.(cql.Tuple)
+		if _, ok := tp.Get("name"); !ok {
+			t.Fatalf("join result missing person name: %v", tp)
+		}
+	}
+}
+
+func TestCurrencyConversionQuery(t *testing.T) {
+	g := NewGenerator(Config{Seed: 41, MaxEvents: 2000}, nil)
+	cat := optimizer.NewCatalog()
+	src := g.BidSource("bids")
+	cat.Register("bids", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryCurrencyConversion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() == 0 {
+		t.Fatal("no conversions")
+	}
+	for _, v := range col.Values() {
+		tp := v.(cql.Tuple)
+		eur, ok := tp.Get("eur")
+		if !ok {
+			t.Fatalf("missing eur: %v", tp)
+		}
+		if f := eur.(float64); f <= 0 || f > 908 {
+			t.Fatalf("bad conversion %v", f)
+		}
+	}
+}
+
+func TestHotAuctionsHavingQuery(t *testing.T) {
+	g := NewGenerator(Config{Seed: 61, MaxEvents: 10000}, nil)
+	cat := optimizer.NewCatalog()
+	src := g.BidSource("bids")
+	cat.Register("bids", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryHotAuctions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() == 0 {
+		t.Fatal("no hot auctions found")
+	}
+	for _, v := range col.Values() {
+		tp := v.(cql.Tuple)
+		n, ok := tp.Get("n")
+		if !ok {
+			t.Fatalf("missing count: %v", tp)
+		}
+		// HAVING must have filtered out everything <= 3.
+		if n.(int64) <= 3 {
+			t.Fatalf("HAVING leaked count %v", n)
+		}
+	}
+}
+
+func TestLastBidPartitionedWindowQuery(t *testing.T) {
+	g := NewGenerator(Config{Seed: 71, MaxEvents: 5000}, nil)
+	cat := optimizer.NewCatalog()
+	src := g.BidSource("bids")
+	cat.Register("bids", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryLastBid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() == 0 {
+		t.Fatal("no last-bid results")
+	}
+	// At any probe instant, the snapshot holds at most one bid per
+	// auction (ROWS 1 per partition).
+	elems := col.Elements()
+	probe := elems[len(elems)/2].Start
+	perAuction := map[any]int{}
+	for _, e := range elems {
+		if e.Contains(probe) {
+			tp := e.Value.(cql.Tuple)
+			a, _ := tp.Get("auction")
+			perAuction[a]++
+		}
+	}
+	for a, n := range perAuction {
+		if n > 1 {
+			t.Fatalf("auction %v has %d live bids under ROWS 1", a, n)
+		}
+	}
+}
+
+func TestBidCountsQuery(t *testing.T) {
+	g := NewGenerator(Config{Seed: 51, MaxEvents: 3000}, nil)
+	cat := optimizer.NewCatalog()
+	src := g.BidSource("bids")
+	cat.Register("bids", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryBidCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() == 0 {
+		t.Fatal("no counts")
+	}
+	for _, v := range col.Values() {
+		tp := v.(cql.Tuple)
+		n, ok := tp.Get("n")
+		if !ok || n.(int64) < 1 {
+			t.Fatalf("bad count tuple %v", tp)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package nexmark
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pipes/internal/cql"
+	"pipes/internal/pubsub"
+)
+
+func genEvents(t *testing.T, n int) []Event {
+	t.Helper()
+	g := NewGenerator(Config{Seed: 3, MaxEvents: n}, nil)
+	var out []Event
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	events := genEvents(t, 500)
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip: %d of %d events", len(back), len(events))
+	}
+	for i := range events {
+		a, b := events[i], back[i]
+		if a.Kind != b.Kind || a.Time != b.Time {
+			t.Fatalf("event %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		switch a.Kind {
+		case EvPerson:
+			if a.Person != b.Person {
+				t.Fatalf("person %d: %+v vs %+v", i, a.Person, b.Person)
+			}
+		case EvAuction:
+			// Opens is reconstructed from the event time.
+			b.Auction.Opens = a.Auction.Opens
+			if a.Auction != b.Auction {
+				t.Fatalf("auction %d: %+v vs %+v", i, a.Auction, b.Auction)
+			}
+		case EvBid:
+			if a.Bid != b.Bid {
+				t.Fatalf("bid %d: %+v vs %+v", i, a.Bid, b.Bid)
+			}
+		}
+	}
+}
+
+func TestXMLSourceStreamsIntoGraph(t *testing.T) {
+	events := genEvents(t, 300)
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	src := NewXMLSource("xml", &buf, store)
+	col := pubsub.NewCollector("col", 1)
+	src.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+	if col.Len() != 300 {
+		t.Fatalf("streamed %d events, want 300", col.Len())
+	}
+	// Persons/auctions ended up in the store.
+	if store.PersonCount() == 0 {
+		t.Fatal("store not populated from XML")
+	}
+	// Elements are ordered and tagged.
+	prev := col.Elements()[0].Start
+	for _, e := range col.Elements() {
+		if e.Start < prev {
+			t.Fatal("XML stream unordered")
+		}
+		prev = e.Start
+		if _, ok := e.Value.(cql.Tuple).Get("kind"); !ok {
+			t.Fatalf("element missing kind: %v", e.Value)
+		}
+	}
+}
+
+func TestXMLSourceBadDocument(t *testing.T) {
+	src := NewXMLSource("xml", strings.NewReader("<nexmark><frog/></nexmark>"), nil)
+	col := pubsub.NewCollector("col", 1)
+	src.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if src.Err() == nil {
+		t.Fatal("unknown element not reported")
+	}
+}
+
+func TestReadXMLErrors(t *testing.T) {
+	if _, err := ReadXML(strings.NewReader("<nexmark><bid>broken")); err == nil {
+		t.Fatal("truncated document accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package ops
+
+import (
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+	"pipes/internal/xds"
+)
+
+// Coalesce merges consecutive elements with the same key whose validity
+// intervals overlap or are adjacent into a single element spanning their
+// union. It is the paper's "special mechanism that substantially reduces
+// stream rates": a downstream of an aggregation whose value rarely changes
+// collapses runs of equal results into one element (experiment E9).
+//
+// With the identity key, Coalesce is the temporal duplicate elimination δ:
+// at every snapshot each key appears at most once — see NewDistinct.
+type Coalesce struct {
+	pubsub.PipeBase
+	key     KeyFunc
+	pending map[any]*span
+	lows    *xds.Heap[lowEntry] // holdback: earliest pending span start
+	ends    *xds.Heap[endEntry] // finalisation: pending spans ordered by End
+	out     *orderBuffer
+}
+
+type span struct {
+	value temporal.Element
+}
+
+type endEntry struct {
+	end temporal.Time
+	key any
+}
+
+// NewCoalesce returns a coalescing operator; a nil key coalesces elements
+// with equal values (the values must then be comparable).
+func NewCoalesce(name string, key KeyFunc) *Coalesce {
+	if key == nil {
+		key = func(v any) any { return v }
+	}
+	c := &Coalesce{
+		PipeBase: pubsub.NewPipeBase(name, 1),
+		key:      key,
+		pending:  map[any]*span{},
+		lows:     xds.NewHeap[lowEntry](func(a, b lowEntry) bool { return a.lb < b.lb }),
+		ends:     xds.NewHeap[endEntry](func(a, b endEntry) bool { return a.end < b.end }),
+		out:      newOrderBuffer(1),
+	}
+	c.OnAllDone = c.finish
+	return c
+}
+
+// NewDistinct returns temporal duplicate elimination over comparable
+// values: the snapshot at any instant contains each value at most once.
+func NewDistinct(name string) *Coalesce { return NewCoalesce(name, nil) }
+
+// Process implements pubsub.Sink.
+func (c *Coalesce) Process(e temporal.Element, _ int) {
+	c.ProcMu.Lock()
+	defer c.ProcMu.Unlock()
+
+	// Finalise pending spans no future element can extend: their End lies
+	// strictly before the new watermark.
+	for {
+		top, ok := c.ends.Peek()
+		if !ok || top.end >= e.Start {
+			break
+		}
+		c.ends.Pop()
+		p := c.pending[top.key]
+		if p == nil || p.value.End != top.end {
+			continue // stale: span was extended or already emitted
+		}
+		c.out.add(p.value)
+		delete(c.pending, top.key)
+	}
+
+	k := c.key(e.Value)
+	if p := c.pending[k]; p != nil {
+		if e.Start <= p.value.End { // overlap or adjacency: extend
+			if e.End > p.value.End {
+				p.value.End = e.End
+				c.ends.Push(endEntry{end: p.value.End, key: k})
+			}
+			c.out.observe(0, e.Start)
+			c.out.release(c.bound(), c.Transfer)
+			return
+		}
+		// Gap: the old span is final.
+		c.out.add(p.value)
+		delete(c.pending, k)
+	}
+	c.pending[k] = &span{value: e}
+	c.ends.Push(endEntry{end: e.End, key: k})
+	c.lows.Push(lowEntry{lb: e.Start, key: k})
+
+	c.out.observe(0, e.Start)
+	c.out.release(c.bound(), c.Transfer)
+}
+
+// bound is min(watermark, earliest pending span start).
+func (c *Coalesce) bound() temporal.Time {
+	wm := c.out.watermark()
+	for {
+		low, ok := c.lows.Peek()
+		if !ok {
+			return wm
+		}
+		p := c.pending[low.key]
+		if p == nil || p.value.Start != low.lb {
+			c.lows.Pop() // stale
+			continue
+		}
+		if low.lb < wm {
+			return low.lb
+		}
+		return wm
+	}
+}
+
+func (c *Coalesce) finish() {
+	for k, p := range c.pending {
+		c.out.add(p.value)
+		delete(c.pending, k)
+	}
+	c.out.flush(c.Transfer)
+}
+
+// PendingSpans returns the number of open spans — for memory accounting.
+func (c *Coalesce) PendingSpans() int {
+	c.ProcMu.Lock()
+	defer c.ProcMu.Unlock()
+	return len(c.pending)
+}
+
+// MemoryUsage implements the metadata/memory reporter.
+func (c *Coalesce) MemoryUsage() int {
+	c.ProcMu.Lock()
+	defer c.ProcMu.Unlock()
+	return len(c.pending)*64 + c.out.len()*64
+}

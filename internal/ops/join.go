@@ -1,0 +1,162 @@
+package ops
+
+import (
+	"fmt"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/sweeparea"
+	"pipes/internal/temporal"
+)
+
+// Pair is the default combined value of a binary join.
+type Pair struct {
+	Left  any
+	Right any
+}
+
+// Combiner builds the output value of a join from the matched inputs.
+type Combiner func(left, right any) any
+
+// Predicate2 is a binary join predicate over the two input values.
+type Predicate2 func(left, right any) bool
+
+// Join is the binary stream join of the PIPES join framework: symmetric
+// evaluation parameterised by two exchangeable SweepAreas [11,12,19]. An
+// arriving element purges the opposite area of entries that can no longer
+// overlap (Reorganize), probes it for value matches, emits one result per
+// match whose validity intervals intersect (the result carries the
+// intersection), and is inserted into its own area. Results flow through
+// an order buffer so the output is Start-ordered.
+//
+// The SweepArea choice fixes the join type: hash areas give an equi-join,
+// tree areas a band join, list areas an arbitrary theta join.
+type Join struct {
+	pubsub.PipeBase
+	areas   [2]sweeparea.SweepArea
+	pred    Predicate2
+	combine Combiner
+	out     *orderBuffer
+	inDone  [2]bool
+}
+
+// NewJoin returns a join over the given areas. pred may be nil when the
+// areas already enforce the predicate (hash/tree); combine may be nil to
+// produce Pair values.
+func NewJoin(name string, left, right sweeparea.SweepArea, pred Predicate2, combine Combiner) *Join {
+	if left == nil || right == nil {
+		panic("ops: join requires two sweep areas")
+	}
+	if combine == nil {
+		combine = func(l, r any) any { return Pair{Left: l, Right: r} }
+	}
+	j := &Join{
+		PipeBase: pubsub.NewPipeBase(name, 2),
+		areas:    [2]sweeparea.SweepArea{left, right},
+		pred:     pred,
+		combine:  combine,
+		out:      newOrderBuffer(2),
+	}
+	j.OnInputDone = func(input int) {
+		j.inDone[input] = true
+		j.out.markDone(input)
+		j.out.release(j.out.watermark(), j.Transfer)
+	}
+	j.OnAllDone = func() { j.out.flush(j.Transfer) }
+	return j
+}
+
+// NewThetaJoin is a convenience constructor: list areas holding every
+// entry, with pred evaluated per candidate pair (left, right).
+func NewThetaJoin(name string, pred Predicate2, combine Combiner) *Join {
+	return NewJoin(name, sweeparea.NewList(nil), sweeparea.NewList(nil), pred, combine)
+}
+
+// NewBandJoin is a convenience constructor: tree areas matching pairs with
+// |leftKey(l) − rightKey(r)| <= band.
+func NewBandJoin(name string, leftKey, rightKey sweeparea.NumKeyFunc, band float64, combine Combiner) *Join {
+	left := sweeparea.NewTree(rightKey, leftKey, band)  // probed by right values
+	right := sweeparea.NewTree(leftKey, rightKey, band) // probed by left values
+	return NewJoin(name, left, right, nil, combine)
+}
+
+// NewEquiJoin is a convenience constructor: a hash-area join on the given
+// key extractors.
+func NewEquiJoin(name string, leftKey, rightKey sweeparea.KeyFunc, combine Combiner) *Join {
+	left := sweeparea.NewHash(rightKey, leftKey)  // probed by right values
+	right := sweeparea.NewHash(leftKey, rightKey) // probed by left values
+	return NewJoin(name, left, right, nil, combine)
+}
+
+// Process implements pubsub.Sink.
+func (j *Join) Process(e temporal.Element, input int) {
+	j.ProcMu.Lock()
+	defer j.ProcMu.Unlock()
+	opp := 1 - input
+	j.areas[opp].Reorganize(e.Start)
+	j.areas[opp].Probe(e, func(s temporal.Element) {
+		var l, r temporal.Element
+		if input == 0 {
+			l, r = e, s
+		} else {
+			l, r = s, e
+		}
+		if j.pred != nil && !j.pred(l.Value, r.Value) {
+			return
+		}
+		iv, ok := l.Intersect(r.Interval)
+		if !ok {
+			return
+		}
+		j.out.add(temporal.Element{Value: j.combine(l.Value, r.Value), Interval: iv})
+	})
+	if !j.inDone[opp] || j.areas[opp].Len() > 0 {
+		// Insert only while results remain possible: once the opposite
+		// input is done and its area drained, stored entries are garbage.
+		j.areas[input].Insert(e)
+	}
+	j.out.observe(input, e.Start)
+	j.out.release(j.out.watermark(), j.Transfer)
+}
+
+// MemoryUsage reports the footprint of both areas plus pending results.
+func (j *Join) MemoryUsage() int {
+	j.ProcMu.Lock()
+	defer j.ProcMu.Unlock()
+	return j.areas[0].MemoryUsage() + j.areas[1].MemoryUsage() + j.out.len()*64
+}
+
+// Shed releases memory by dropping the soonest-expiring entries, starting
+// with the larger area — the load-shedding hook the memory manager calls.
+// It returns how many entries were dropped.
+func (j *Join) Shed(n int) int {
+	j.ProcMu.Lock()
+	defer j.ProcMu.Unlock()
+	big, small := j.areas[0], j.areas[1]
+	if small.Len() > big.Len() {
+		big, small = small, big
+	}
+	dropped := big.Shed(n)
+	if dropped < n {
+		dropped += small.Shed(n - dropped)
+	}
+	return dropped
+}
+
+// ShedBytes implements the memory manager's shedder capability in byte
+// terms, delegating to entry-wise Shed.
+func (j *Join) ShedBytes(n int) int {
+	entries := n / 64
+	if entries < 1 {
+		entries = 1
+	}
+	return j.Shed(entries) * 64
+}
+
+// StateSize returns the number of stored entries across both areas.
+func (j *Join) StateSize() int {
+	j.ProcMu.Lock()
+	defer j.ProcMu.Unlock()
+	return j.areas[0].Len() + j.areas[1].Len()
+}
+
+func (j *Join) String() string { return fmt.Sprintf("%s[join]", j.Name()) }

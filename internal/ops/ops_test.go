@@ -1,0 +1,783 @@
+package ops
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pipes/internal/aggregate"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// el builds an element.
+func el(v any, s, e temporal.Time) temporal.Element { return temporal.NewElement(v, s, e) }
+
+// runSingle feeds one ordered input through op and returns the output.
+func runSingle(op pubsub.Pipe, in []temporal.Element) []temporal.Element {
+	col := pubsub.NewCollector("col", 1)
+	op.Subscribe(col, 0)
+	for _, e := range in {
+		op.Process(e, 0)
+	}
+	op.Done(0)
+	col.Wait()
+	return col.Elements()
+}
+
+// runMerged feeds multiple per-input-ordered streams into op interleaved
+// in global Start order (ties: lower input first), then closes all inputs.
+func runMerged(op pubsub.Pipe, inputs ...[]temporal.Element) []temporal.Element {
+	col := pubsub.NewCollector("col", 1)
+	op.Subscribe(col, 0)
+	idx := make([]int, len(inputs))
+	for {
+		best := -1
+		for i, in := range inputs {
+			if idx[i] >= len(in) {
+				continue
+			}
+			if best < 0 || in[idx[i]].Start < inputs[best][idx[best]].Start {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		op.Process(inputs[best][idx[best]], best)
+		idx[best]++
+	}
+	for i := range inputs {
+		op.Done(i)
+	}
+	col.Wait()
+	return col.Elements()
+}
+
+// runSequential feeds each input completely before the next (worst-case
+// watermark skew).
+func runSequential(op pubsub.Pipe, inputs ...[]temporal.Element) []temporal.Element {
+	col := pubsub.NewCollector("col", 1)
+	op.Subscribe(col, 0)
+	for i, in := range inputs {
+		for _, e := range in {
+			op.Process(e, i)
+		}
+		op.Done(i)
+	}
+	col.Wait()
+	return col.Elements()
+}
+
+func sameElements(t *testing.T, got, want []temporal.Element) {
+	t.Helper()
+	key := func(e temporal.Element) string { return e.String() }
+	g := map[string]int{}
+	for _, e := range got {
+		g[key(e)]++
+	}
+	w := map[string]int{}
+	for _, e := range want {
+		w[key(e)]++
+	}
+	if len(g) != len(w) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, n := range w {
+		if g[k] != n {
+			t.Fatalf("got %v, want %v (mismatch at %s)", got, want, k)
+		}
+	}
+}
+
+func assertOrdered(t *testing.T, out []temporal.Element) {
+	t.Helper()
+	if !temporal.OrderedByStart(out) {
+		t.Fatalf("output violates stream order: %v", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	in := []temporal.Element{el(1, 0, 5), el(2, 1, 6), el(3, 2, 7), el(4, 3, 8)}
+	out := runSingle(NewFilter("f", func(v any) bool { return v.(int)%2 == 0 }), in)
+	sameElements(t, out, []temporal.Element{el(2, 1, 6), el(4, 3, 8)})
+	assertOrdered(t, out)
+}
+
+func TestMapPreservesIntervals(t *testing.T) {
+	in := []temporal.Element{el(1, 0, 5), el(2, 3, 9)}
+	out := runSingle(NewMap("m", func(v any) any { return v.(int) * 10 }), in)
+	sameElements(t, out, []temporal.Element{el(10, 0, 5), el(20, 3, 9)})
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"filter":    func() { NewFilter("x", nil) },
+		"map":       func() { NewMap("x", nil) },
+		"timewin":   func() { NewTimeWindow("x", 0) },
+		"tumbling":  func() { NewTumblingWindow("x", -1) },
+		"countwin":  func() { NewCountWindow("x", 0) },
+		"partwin":   func() { NewPartitionedWindow("x", nil, 1) },
+		"partwin-n": func() { NewPartitionedWindow("x", func(v any) any { return v }, 0) },
+		"union":     func() { NewUnion("x", 1) },
+		"join":      func() { NewJoin("x", nil, nil, nil, nil) },
+		"groupby":   func() { NewGroupBy("x", nil, nil, nil) },
+		"split":     func() { NewSplit("x", 0) },
+		"sample":    func() { NewSample("x", 0) },
+		"mjoin-n":   func() { NewMJoin("x", 1, func(v any) any { return v }) },
+		"mjoin-key": func() { NewMJoin("x", 2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected constructor panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	in := []temporal.Element{el("a", 0, 1), el("b", 7, 8)}
+	out := runSingle(NewTimeWindow("w", 10), in)
+	sameElements(t, out, []temporal.Element{el("a", 0, 10), el("b", 7, 17)})
+}
+
+func TestTimeWindowOverflowClamped(t *testing.T) {
+	in := []temporal.Element{el("a", temporal.MaxTime-5, temporal.MaxTime-4)}
+	out := runSingle(NewTimeWindow("w", 100), in)
+	if out[0].End != temporal.MaxTime {
+		t.Fatalf("overflowing window end = %v, want MaxTime", out[0].End)
+	}
+}
+
+func TestUnboundedAndNowWindow(t *testing.T) {
+	in := []temporal.Element{el("a", 3, 4)}
+	out := runSingle(NewUnboundedWindow("u"), in)
+	if out[0].End != temporal.MaxTime {
+		t.Fatalf("unbounded end = %v", out[0].End)
+	}
+	out = runSingle(NewNowWindow("n"), []temporal.Element{el("a", 3, 99)})
+	sameElements(t, out, []temporal.Element{el("a", 3, 4)})
+}
+
+func TestTumblingWindowAlignsToGranules(t *testing.T) {
+	in := []temporal.Element{el("a", 3, 4), el("b", 9, 10), el("c", 10, 11), el("d", 25, 26)}
+	out := runSingle(NewTumblingWindow("t", 10), in)
+	sameElements(t, out, []temporal.Element{
+		el("a", 0, 10), el("b", 0, 10), el("c", 10, 20), el("d", 20, 30),
+	})
+	assertOrdered(t, out)
+}
+
+func TestTumblingWindowNegativeTimes(t *testing.T) {
+	in := []temporal.Element{el("a", -15, -14), el("b", -5, -4)}
+	out := runSingle(NewTumblingWindow("t", 10), in)
+	sameElements(t, out, []temporal.Element{el("a", -20, -10), el("b", -10, 0)})
+}
+
+func TestCountWindowDisplacement(t *testing.T) {
+	in := []temporal.Element{el("a", 0, 1), el("b", 5, 6), el("c", 9, 10)}
+	out := runSingle(NewCountWindow("c", 2), in)
+	// "a" displaced by "c" at t=9; "b" and "c" never displaced.
+	sameElements(t, out, []temporal.Element{
+		el("a", 0, 9), el("b", 5, temporal.MaxTime), el("c", 9, temporal.MaxTime),
+	})
+	assertOrdered(t, out)
+}
+
+func TestCountWindowSimultaneousArrivals(t *testing.T) {
+	in := []temporal.Element{el("a", 5, 6), el("b", 5, 6)}
+	out := runSingle(NewCountWindow("c", 1), in)
+	for _, e := range out {
+		if !e.Valid() {
+			t.Fatalf("count window emitted empty interval: %v", e)
+		}
+	}
+}
+
+func TestPartitionedWindow(t *testing.T) {
+	key := func(v any) any { return v.(string)[:1] }
+	in := []temporal.Element{
+		el("a1", 0, 1), el("b1", 1, 2), el("b2", 2, 3), el("a2", 3, 4),
+	}
+	out := runSingle(NewPartitionedWindow("p", key, 1), in)
+	// b1 displaced by b2 at 2; a1 displaced by a2 at 3; a2 and b2 flushed.
+	sameElements(t, out, []temporal.Element{
+		el("b1", 1, 2), el("a1", 0, 3),
+		el("a2", 3, temporal.MaxTime), el("b2", 2, temporal.MaxTime),
+	})
+	assertOrdered(t, out)
+}
+
+func TestUnionMergesInOrder(t *testing.T) {
+	a := []temporal.Element{el(1, 0, 1), el(3, 4, 5), el(5, 8, 9)}
+	b := []temporal.Element{el(2, 2, 3), el(4, 6, 7)}
+	u := NewUnion("u", 2)
+	out := runMerged(u, a, b)
+	sameElements(t, out, append(append([]temporal.Element{}, a...), b...))
+	assertOrdered(t, out)
+}
+
+func TestUnionSequentialFeedStillOrdered(t *testing.T) {
+	a := []temporal.Element{el(1, 0, 1), el(3, 4, 5)}
+	b := []temporal.Element{el(2, 2, 3), el(4, 6, 7)}
+	out := runSequential(NewUnion("u", 2), a, b)
+	sameElements(t, out, append(append([]temporal.Element{}, a...), b...))
+	assertOrdered(t, out)
+}
+
+func TestUnionThreeInputs(t *testing.T) {
+	a := []temporal.Element{el("a", 0, 1)}
+	b := []temporal.Element{el("b", 1, 2)}
+	c := []temporal.Element{el("c", 2, 3)}
+	out := runMerged(NewUnion("u", 3), a, b, c)
+	if len(out) != 3 {
+		t.Fatalf("union output %v", out)
+	}
+	assertOrdered(t, out)
+}
+
+func join2(l, r any) any { return Pair{Left: l, Right: r} }
+
+func TestEquiJoinBasics(t *testing.T) {
+	key := func(v any) any { return v.(int) % 10 }
+	left := []temporal.Element{el(1, 0, 10), el(2, 1, 11)}
+	right := []temporal.Element{el(11, 2, 12), el(3, 3, 13)}
+	j := NewEquiJoin("j", key, key, nil)
+	out := runMerged(j, left, right)
+	sameElements(t, out, []temporal.Element{
+		el(Pair{Left: 1, Right: 11}, 2, 10),
+	})
+	assertOrdered(t, out)
+}
+
+func TestJoinIntervalIntersection(t *testing.T) {
+	// Overlap [5,8) only.
+	left := []temporal.Element{el(1, 0, 8)}
+	right := []temporal.Element{el(1, 5, 20)}
+	j := NewThetaJoin("j", func(l, r any) bool { return l == r }, join2)
+	out := runMerged(j, left, right)
+	sameElements(t, out, []temporal.Element{el(Pair{Left: 1, Right: 1}, 5, 8)})
+}
+
+func TestJoinNoOverlapNoResult(t *testing.T) {
+	left := []temporal.Element{el(1, 0, 5)}
+	right := []temporal.Element{el(1, 5, 10)} // half-open: no shared instant
+	j := NewThetaJoin("j", func(l, r any) bool { return l == r }, join2)
+	if out := runMerged(j, left, right); len(out) != 0 {
+		t.Fatalf("adjacent intervals joined: %v", out)
+	}
+}
+
+func TestJoinSequentialFeed(t *testing.T) {
+	// Entire left then entire right: results must match the merged feed.
+	key := func(v any) any { return v.(int) % 5 }
+	var left, right []temporal.Element
+	for i := 0; i < 20; i++ {
+		left = append(left, el(i, temporal.Time(i), temporal.Time(i+15)))
+		right = append(right, el(i+100, temporal.Time(i), temporal.Time(i+15)))
+	}
+	merged := runMerged(NewEquiJoin("j", key, key, nil), left, right)
+	seq := runSequential(NewEquiJoin("j", key, key, nil), left, right)
+	sameElements(t, seq, merged)
+	assertOrdered(t, seq)
+	assertOrdered(t, merged)
+}
+
+func TestJoinStatePurging(t *testing.T) {
+	// With short validity, the sweep areas must stay small.
+	key := func(v any) any { return 0 }
+	j := NewEquiJoin("j", key, key, nil)
+	col := pubsub.NewCollector("col", 1)
+	j.Subscribe(col, 0)
+	for i := 0; i < 1000; i++ {
+		ts := temporal.Time(i)
+		j.Process(el(i, ts, ts+5), i%2)
+	}
+	if s := j.StateSize(); s > 50 {
+		t.Fatalf("join state grew to %d entries despite 5-tick windows", s)
+	}
+}
+
+func TestBandJoin(t *testing.T) {
+	num := func(v any) float64 { return float64(v.(int)) }
+	left := []temporal.Element{el(10, 0, 100)}
+	right := []temporal.Element{el(12, 1, 100), el(14, 2, 100)}
+	j := NewBandJoin("bj", num, num, 2, join2)
+	out := runMerged(j, left, right)
+	sameElements(t, out, []temporal.Element{el(Pair{Left: 10, Right: 12}, 1, 100)})
+}
+
+func TestMJoinMatchesBinaryJoinTree(t *testing.T) {
+	key := func(v any) any { return v.(int) % 3 }
+	mk := func(base int) []temporal.Element {
+		var out []temporal.Element
+		for i := 0; i < 15; i++ {
+			out = append(out, el(base+i, temporal.Time(i), temporal.Time(i+20)))
+		}
+		return out
+	}
+	a, b, c := mk(0), mk(100), mk(200)
+
+	m := NewMJoin("m", 3, key)
+	mout := runMerged(m, a, b, c)
+	assertOrdered(t, mout)
+
+	// Binary tree: (a ⋈ b) ⋈ c with tuple flattening.
+	j1 := NewEquiJoin("j1", key, key, func(l, r any) any { return []any{l, r} })
+	j1out := runMerged(j1, a, b)
+	pairKey := func(v any) any { return key(v.([]any)[0]) }
+	j2 := NewEquiJoin("j2", pairKey, key, func(l, r any) any {
+		p := l.([]any)
+		return []any{p[0], p[1], r}
+	})
+	j2out := runMerged(j2, j1out, c)
+
+	sameElements(t, mout, j2out)
+}
+
+func TestGroupByCountSpans(t *testing.T) {
+	in := []temporal.Element{el("x", 0, 10), el("y", 5, 15)}
+	g := NewAggregate("cnt", aggregate.NewCount)
+	out := runSingle(g, in)
+	sameElements(t, out, []temporal.Element{
+		el(int64(1), 0, 5), el(int64(2), 5, 10), el(int64(1), 10, 15),
+	})
+	assertOrdered(t, out)
+}
+
+func TestGroupByKeyedAvg(t *testing.T) {
+	key := func(v any) any { return v.(int) % 2 }
+	avgOf := func(v any) any { return v } // aggregate over the int values
+	_ = avgOf
+	in := []temporal.Element{el(2, 0, 10), el(4, 0, 10), el(3, 0, 10)}
+	g := NewGroupBy("avg", key, aggregate.NewAvg, nil)
+	out := runSingle(g, in)
+	sameElements(t, out, []temporal.Element{
+		el(GroupResult{Key: 0, Agg: 3.0}, 0, 10),
+		el(GroupResult{Key: 1, Agg: 3.0}, 0, 10),
+	})
+}
+
+func TestGroupByMinRecomputeOnExpiry(t *testing.T) {
+	// Min is non-invertible: after the minimum expires, the aggregate must
+	// be recomputed from the survivors.
+	in := []temporal.Element{el(1, 0, 5), el(7, 0, 10), el(3, 2, 10)}
+	g := NewAggregate("min", aggregate.NewMin)
+	out := runSingle(g, in)
+	sameElements(t, out, []temporal.Element{
+		el(1.0, 0, 2), el(1.0, 2, 5), el(3.0, 5, 10),
+	})
+}
+
+func TestGroupByEmptyGaps(t *testing.T) {
+	// Gap between elements: no output during the gap, group resets.
+	in := []temporal.Element{el(5, 0, 2), el(6, 10, 12)}
+	g := NewAggregate("sum", aggregate.NewSum)
+	out := runSingle(g, in)
+	sameElements(t, out, []temporal.Element{el(5.0, 0, 2), el(6.0, 10, 12)})
+}
+
+func TestGroupByUnboundedElements(t *testing.T) {
+	in := []temporal.Element{el(1, 0, temporal.MaxTime), el(2, 5, temporal.MaxTime)}
+	g := NewAggregate("cnt", aggregate.NewCount)
+	out := runSingle(g, in)
+	sameElements(t, out, []temporal.Element{
+		el(int64(1), 0, 5), el(int64(2), 5, temporal.MaxTime),
+	})
+}
+
+func TestCoalesceMergesAdjacentEqualValues(t *testing.T) {
+	in := []temporal.Element{el("v", 0, 5), el("v", 5, 10), el("v", 12, 15), el("w", 3, 8)}
+	out := runSingle(NewCoalesce("c", nil), in)
+	sameElements(t, out, []temporal.Element{
+		el("v", 0, 10), el("v", 12, 15), el("w", 3, 8),
+	})
+	assertOrdered(t, out)
+}
+
+func TestCoalesceOverlapExtension(t *testing.T) {
+	in := []temporal.Element{el("v", 0, 10), el("v", 4, 6)} // contained: no extension
+	out := runSingle(NewCoalesce("c", nil), in)
+	sameElements(t, out, []temporal.Element{el("v", 0, 10)})
+}
+
+func TestDistinctSnapshotSemantics(t *testing.T) {
+	in := []temporal.Element{el("a", 0, 10), el("a", 2, 6), el("b", 1, 4)}
+	out := runSingle(NewDistinct("d"), in)
+	sameElements(t, out, []temporal.Element{el("a", 0, 10), el("b", 1, 4)})
+}
+
+func TestDifferenceBasic(t *testing.T) {
+	plus := []temporal.Element{el("v", 0, 10), el("v", 0, 10)}
+	minus := []temporal.Element{el("v", 2, 6)}
+	d := NewDifference("diff", nil)
+	out := runMerged(d, plus, minus)
+	// m0=2 throughout [0,10); m1=1 during [2,6): output 2,1,2 copies.
+	sameElements(t, out, []temporal.Element{
+		el("v", 0, 2), el("v", 0, 2),
+		el("v", 2, 6),
+		el("v", 6, 10), el("v", 6, 10),
+	})
+	assertOrdered(t, out)
+}
+
+func TestDifferenceSubtractsToZero(t *testing.T) {
+	plus := []temporal.Element{el("v", 0, 10)}
+	minus := []temporal.Element{el("v", 0, 10)}
+	out := runMerged(NewDifference("diff", nil), plus, minus)
+	if len(out) != 0 {
+		t.Fatalf("difference of identical streams = %v, want empty", out)
+	}
+}
+
+func TestDifferenceSequentialFeed(t *testing.T) {
+	plus := []temporal.Element{el("v", 0, 4), el("w", 1, 5)}
+	minus := []temporal.Element{el("v", 2, 3)}
+	seq := runSequential(NewDifference("d", nil), plus, minus)
+	mer := runMerged(NewDifference("d", nil), plus, minus)
+	sameElements(t, seq, mer)
+	assertOrdered(t, seq)
+}
+
+func TestSplitChopsAtGranules(t *testing.T) {
+	in := []temporal.Element{el("a", 3, 17)}
+	out := runSingle(NewSplit("s", 5), in)
+	sameElements(t, out, []temporal.Element{
+		el("a", 3, 5), el("a", 5, 10), el("a", 10, 15), el("a", 15, 17),
+	})
+	assertOrdered(t, out)
+}
+
+func TestSplitAlignedElementUnchanged(t *testing.T) {
+	in := []temporal.Element{el("a", 5, 10)}
+	out := runSingle(NewSplit("s", 5), in)
+	sameElements(t, out, []temporal.Element{el("a", 5, 10)})
+}
+
+func TestSplitOrderAcrossElements(t *testing.T) {
+	in := []temporal.Element{el("a", 0, 20), el("b", 3, 8)}
+	out := runSingle(NewSplit("s", 5), in)
+	assertOrdered(t, out)
+	if len(out) != 6 {
+		t.Fatalf("split produced %d pieces, want 6: %v", len(out), out)
+	}
+}
+
+func TestSampleEmitsSnapshots(t *testing.T) {
+	in := []temporal.Element{el("a", 0, 12), el("b", 3, 9), el("c", 11, 30)}
+	out := runSingle(NewSample("r", 5), in)
+	// Boundaries 0,5,10,... snapshot: t=0:{a}, t=5:{a,b}, t=10:{a},
+	// t=15:{c}, t=20:{c}, t=25:{c}; finish drains to maxEnd=30.
+	want := []temporal.Element{
+		el("a", 0, 5),
+		el("a", 5, 10), el("b", 5, 10),
+		el("a", 10, 15),
+		el("c", 15, 20), el("c", 20, 25), el("c", 25, 30),
+	}
+	sameElements(t, out, want)
+	assertOrdered(t, out)
+}
+
+func TestIStream(t *testing.T) {
+	in := []temporal.Element{el("a", 2, 50)}
+	out := runSingle(NewIStream("i"), in)
+	sameElements(t, out, []temporal.Element{el("a", 2, 3)})
+}
+
+func TestDStreamOrdersByEnd(t *testing.T) {
+	in := []temporal.Element{el("a", 0, 20), el("b", 1, 5), el("c", 30, 31)}
+	out := runSingle(NewDStream("d"), in)
+	sameElements(t, out, []temporal.Element{
+		el("b", 5, 6), el("a", 20, 21), el("c", 31, 32),
+	})
+	assertOrdered(t, out)
+}
+
+func TestDStreamSkipsUnbounded(t *testing.T) {
+	in := []temporal.Element{el("a", 0, temporal.MaxTime)}
+	if out := runSingle(NewDStream("d"), in); len(out) != 0 {
+		t.Fatalf("DStream emitted for unbounded element: %v", out)
+	}
+}
+
+func TestOrderBufferWatermarks(t *testing.T) {
+	b := newOrderBuffer(2)
+	if wm := b.watermark(); wm != temporal.MinTime {
+		t.Fatalf("initial watermark = %v", wm)
+	}
+	b.observe(0, 10)
+	if wm := b.watermark(); wm != temporal.MinTime {
+		t.Fatalf("watermark with one silent input = %v, want MinTime", wm)
+	}
+	b.observe(1, 4)
+	if wm := b.watermark(); wm != 4 {
+		t.Fatalf("watermark = %v, want 4", wm)
+	}
+	b.markDone(1)
+	if wm := b.watermark(); wm != 10 {
+		t.Fatalf("watermark after done = %v, want 10", wm)
+	}
+	b.markDone(0)
+	if wm := b.watermark(); wm != temporal.MaxTime {
+		t.Fatalf("watermark all done = %v, want MaxTime", wm)
+	}
+}
+
+func TestOrderBufferReleaseOrder(t *testing.T) {
+	b := newOrderBuffer(1)
+	b.add(el("c", 5, 6))
+	b.add(el("a", 1, 2))
+	b.add(el("b", 3, 4))
+	var got []temporal.Element
+	b.observe(0, 3)
+	b.release(b.watermark(), func(e temporal.Element) { got = append(got, e) })
+	if len(got) != 2 || got[0].Value != "a" || got[1].Value != "b" {
+		t.Fatalf("released %v", got)
+	}
+	b.flush(func(e temporal.Element) { got = append(got, e) })
+	if len(got) != 3 || got[2].Value != "c" {
+		t.Fatalf("flushed %v", got)
+	}
+}
+
+func TestJoinShedReducesState(t *testing.T) {
+	key := func(v any) any { return 0 }
+	j := NewEquiJoin("j", key, key, nil)
+	col := pubsub.NewCollector("col", 1)
+	j.Subscribe(col, 0)
+	for i := 0; i < 100; i++ {
+		j.Process(el(i, temporal.Time(i), temporal.Time(i+1000)), 0)
+	}
+	before := j.StateSize()
+	dropped := j.Shed(40)
+	if dropped != 40 {
+		t.Fatalf("Shed dropped %d, want 40", dropped)
+	}
+	if j.StateSize() != before-40 {
+		t.Fatalf("state = %d, want %d", j.StateSize(), before-40)
+	}
+	if j.MemoryUsage() <= 0 {
+		t.Fatal("memory usage not reported")
+	}
+}
+
+func TestGroupCountAndMemory(t *testing.T) {
+	key := func(v any) any { return v.(int) % 5 }
+	g := NewGroupBy("g", key, aggregate.NewCount, nil)
+	col := pubsub.NewCollector("col", 1)
+	g.Subscribe(col, 0)
+	for i := 0; i < 50; i++ {
+		g.Process(el(i, temporal.Time(i), temporal.Time(i+100)), 0)
+	}
+	if g.GroupCount() != 5 {
+		t.Fatalf("GroupCount = %d, want 5", g.GroupCount())
+	}
+	if g.MemoryUsage() <= 0 {
+		t.Fatal("memory usage not reported")
+	}
+}
+
+func TestUnionPendingAccounting(t *testing.T) {
+	u := NewUnion("u", 2)
+	col := pubsub.NewCollector("col", 1)
+	u.Subscribe(col, 0)
+	u.Process(el(1, 0, 1), 0)
+	u.Process(el(2, 5, 6), 0)
+	if u.Pending() != 2 { // input 1 silent: nothing released
+		t.Fatalf("Pending = %d, want 2", u.Pending())
+	}
+	u.Done(1)
+	u.Done(0)
+	col.Wait()
+	if u.Pending() != 0 {
+		t.Fatalf("Pending after done = %d", u.Pending())
+	}
+}
+
+// sortByStart is a helper for deterministic comparisons where needed.
+func sortByStart(elems []temporal.Element) {
+	sort.SliceStable(elems, func(i, j int) bool { return elems[i].Start < elems[j].Start })
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := []temporal.Element{el("v", 0, 10), el("v", 0, 10), el("w", 0, 5)}
+	b := []temporal.Element{el("v", 2, 6)}
+	out := runMerged(NewIntersect("i", nil), a, b)
+	// v: min(2,1)=1 copy during [2,6); w never in b.
+	sameElements(t, out, []temporal.Element{el("v", 2, 6)})
+	assertOrdered(t, out)
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	a := []temporal.Element{el("x", 0, 5)}
+	b := []temporal.Element{el("y", 0, 5)}
+	if out := runMerged(NewIntersect("i", nil), a, b); len(out) != 0 {
+		t.Fatalf("disjoint intersection = %v", out)
+	}
+}
+
+func TestIntersectSequentialFeed(t *testing.T) {
+	a := []temporal.Element{el("v", 0, 8), el("w", 1, 9)}
+	b := []temporal.Element{el("v", 2, 5), el("w", 3, 12)}
+	seq := runSequential(NewIntersect("i", nil), a, b)
+	mer := runMerged(NewIntersect("i", nil), a, b)
+	sameElements(t, seq, mer)
+	assertOrdered(t, seq)
+}
+
+func TestIntersectMemoryReported(t *testing.T) {
+	in := NewIntersect("i", nil)
+	col := pubsub.NewCollector("col", 1)
+	in.Subscribe(col, 0)
+	in.Process(el("v", 0, 100), 0)
+	if in.MemoryUsage() <= 0 {
+		t.Fatal("no memory reported")
+	}
+}
+
+func TestSequencerRestoresOrder(t *testing.T) {
+	in := []temporal.Element{
+		el("a", 0, 1), el("c", 7, 8), el("b", 3, 4), el("d", 9, 10), el("e", 15, 16),
+	}
+	s := NewSequencer("seq", 10)
+	out := runSingle(s, in)
+	sameElements(t, out, in)
+	assertOrdered(t, out)
+	if s.LateDrops() != 0 {
+		t.Fatalf("dropped %d within slack", s.LateDrops())
+	}
+}
+
+func TestSequencerDropsBeyondSlack(t *testing.T) {
+	s := NewSequencer("seq", 2)
+	col := pubsub.NewCollector("col", 1)
+	s.Subscribe(col, 0)
+	s.Process(el("a", 100, 101), 0)
+	s.Process(el("b", 103, 104), 0) // bound 101: releases a, watermark 100
+	s.Process(el("late", 50, 51), 0)
+	s.Done(0)
+	col.Wait()
+	if s.LateDrops() != 1 {
+		t.Fatalf("LateDrops = %d, want 1", s.LateDrops())
+	}
+	if col.Len() != 2 {
+		t.Fatalf("collected %d, want 2", col.Len())
+	}
+	assertOrdered(t, col.Elements())
+}
+
+func TestSequencerZeroSlackPassesOrderedInput(t *testing.T) {
+	in := []temporal.Element{el(1, 0, 1), el(2, 1, 2), el(3, 2, 3)}
+	out := runSingle(NewSequencer("seq", 0), in)
+	sameElements(t, out, in)
+	assertOrdered(t, out)
+}
+
+func TestSequencerRandomizedProperty(t *testing.T) {
+	// Shuffle an ordered stream within a bounded horizon; the sequencer
+	// with slack >= horizon must reproduce it exactly, in order.
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		n := 200
+		ordered := make([]temporal.Element, n)
+		for i := range ordered {
+			ordered[i] = el(i, temporal.Time(i*2), temporal.Time(i*2+5))
+		}
+		// Bounded disorder: arrival order = timestamps perturbed by
+		// jitter below `horizon`, so no element trails the high-water
+		// mark by more than `horizon`.
+		const horizon = 8
+		shuffled := append([]temporal.Element{}, ordered...)
+		jitter := make([]int, n)
+		for i := range jitter {
+			jitter[i] = i*2 + rng.Intn(horizon)
+		}
+		sort.SliceStable(shuffled, func(a, b int) bool {
+			return jitter[shuffled[a].Value.(int)] < jitter[shuffled[b].Value.(int)]
+		})
+		s := NewSequencer("seq", temporal.Time(horizon+1))
+		out := runSingle(s, shuffled)
+		if s.LateDrops() != 0 {
+			t.Fatalf("trial %d: %d drops within slack", trial, s.LateDrops())
+		}
+		sameElements(t, out, ordered)
+		assertOrdered(t, out)
+	}
+}
+
+func TestSequencerNegativeSlackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative slack accepted")
+		}
+	}()
+	NewSequencer("seq", -1)
+}
+
+func TestShedderPassThroughByDefault(t *testing.T) {
+	s := NewShedder("sh", 1)
+	out := runSingle(s, []temporal.Element{el(1, 0, 1), el(2, 1, 2)})
+	if len(out) != 2 || s.Dropped() != 0 {
+		t.Fatalf("default shedder dropped: out=%d dropped=%d", len(out), s.Dropped())
+	}
+}
+
+func TestShedderDropRate(t *testing.T) {
+	s := NewShedder("sh", 7)
+	s.SetDropProbability(0.3)
+	col := pubsub.NewCollector("col", 1)
+	s.Subscribe(col, 0)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Process(el(i, temporal.Time(i), temporal.Time(i+1)), 0)
+	}
+	s.Done(0)
+	col.Wait()
+	frac := float64(s.Dropped()) / float64(n)
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("drop fraction = %v, want ~0.3", frac)
+	}
+	if s.Seen() != n {
+		t.Fatalf("Seen = %d", s.Seen())
+	}
+	assertOrdered(t, col.Elements())
+}
+
+func TestShedderFullDropAndClamping(t *testing.T) {
+	s := NewShedder("sh", 1)
+	s.SetDropProbability(7) // clamped to 1
+	if s.DropProbability() != 1 {
+		t.Fatalf("clamp high: %v", s.DropProbability())
+	}
+	out := runSingle(s, []temporal.Element{el(1, 0, 1), el(2, 1, 2)})
+	if len(out) != 0 {
+		t.Fatalf("p=1 forwarded %d", len(out))
+	}
+	s2 := NewShedder("sh", 1)
+	s2.SetDropProbability(-3) // clamped to 0
+	if s2.DropProbability() != 0 {
+		t.Fatalf("clamp low: %v", s2.DropProbability())
+	}
+}
+
+func TestShedderRuntimeAdjustment(t *testing.T) {
+	s := NewShedder("sh", 9)
+	col := pubsub.NewCollector("col", 1)
+	s.Subscribe(col, 0)
+	for i := 0; i < 100; i++ {
+		s.Process(el(i, temporal.Time(i), temporal.Time(i+1)), 0)
+	}
+	if s.Dropped() != 0 {
+		t.Fatal("dropped before adjustment")
+	}
+	s.SetDropProbability(1)
+	for i := 100; i < 200; i++ {
+		s.Process(el(i, temporal.Time(i), temporal.Time(i+1)), 0)
+	}
+	if s.Dropped() != 100 {
+		t.Fatalf("dropped %d after p=1", s.Dropped())
+	}
+}

@@ -1,0 +1,127 @@
+package ops
+
+import (
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+	"pipes/internal/xds"
+)
+
+// Split is the inverse of Coalesce: it chops each element's validity
+// interval at fixed granule boundaries, emitting one element per covered
+// granule fragment. Splitting aligns element validity to a common grid so
+// that downstream granule-wise evaluation (tumbling reports, historical
+// bulk loads) sees uniform pieces.
+type Split struct {
+	pubsub.PipeBase
+	granule temporal.Time
+	out     *orderBuffer
+}
+
+// NewSplit returns a splitter with the given positive granule.
+func NewSplit(name string, granule temporal.Time) *Split {
+	if granule <= 0 {
+		panic("ops: split granule must be positive")
+	}
+	s := &Split{PipeBase: pubsub.NewPipeBase(name, 1), granule: granule, out: newOrderBuffer(1)}
+	s.OnAllDone = func() { s.out.flush(s.Transfer) }
+	return s
+}
+
+// Process implements pubsub.Sink.
+func (s *Split) Process(e temporal.Element, _ int) {
+	s.ProcMu.Lock()
+	defer s.ProcMu.Unlock()
+	cur := e.Start
+	for cur < e.End {
+		next := (floorDiv(cur, s.granule) + 1) * s.granule
+		if next > e.End || next < cur { // clamp tail and MaxTime overflow
+			next = e.End
+		}
+		s.out.add(temporal.NewElement(e.Value, cur, next))
+		cur = next
+	}
+	s.out.observe(0, e.Start)
+	s.out.release(s.out.watermark(), s.Transfer)
+}
+
+// Sample materialises periodic snapshots (CQL RSTREAM with a SLIDE): at
+// every boundary b = k·every it emits each value of the current snapshot
+// as an element valid [b, b+every). Boundary b is closed as soon as an
+// element with Start > b arrives (or the stream ends), so output order is
+// by construction non-decreasing.
+//
+// Elements with unbounded validity keep the sampler emitting only up to
+// the last finite boundary observed at end-of-stream.
+type Sample struct {
+	pubsub.PipeBase
+	every  temporal.Time
+	active *xds.Heap[temporal.Element] // by End
+	nextB  temporal.Time
+	seeded bool
+}
+
+// NewSample returns a periodic snapshot sampler with positive period.
+func NewSample(name string, every temporal.Time) *Sample {
+	if every <= 0 {
+		panic("ops: sample period must be positive")
+	}
+	s := &Sample{
+		PipeBase: pubsub.NewPipeBase(name, 1),
+		every:    every,
+		active:   xds.NewHeap[temporal.Element](func(a, b temporal.Element) bool { return a.End < b.End }),
+	}
+	s.OnAllDone = s.finish
+	return s
+}
+
+// Process implements pubsub.Sink.
+func (s *Sample) Process(e temporal.Element, _ int) {
+	s.ProcMu.Lock()
+	defer s.ProcMu.Unlock()
+	if !s.seeded {
+		s.nextB = floorDiv(e.Start, s.every) * s.every
+		if s.nextB < e.Start {
+			s.nextB += s.every
+		}
+		s.seeded = true
+	}
+	// Emit all boundaries strictly before the new element's start: no
+	// further element can contribute to them.
+	s.emitBoundaries(e.Start)
+	s.active.Push(e)
+}
+
+// emitBoundaries emits every due boundary strictly below limit.
+func (s *Sample) emitBoundaries(limit temporal.Time) {
+	for s.nextB < limit {
+		b := s.nextB
+		// Purge expired, then emit the snapshot at b.
+		for {
+			top, ok := s.active.Peek()
+			if !ok || top.End > b {
+				break
+			}
+			s.active.Pop()
+		}
+		for _, e := range s.active.Items() {
+			if e.Start <= b {
+				s.Transfer(temporal.NewElement(e.Value, b, b+s.every))
+			}
+		}
+		s.nextB += s.every
+	}
+}
+
+func (s *Sample) finish() {
+	// Drain boundaries covered by bounded elements; unbounded elements
+	// would otherwise keep the sampler alive forever.
+	maxEnd := temporal.MinTime
+	for _, e := range s.active.Items() {
+		if e.End != temporal.MaxTime && e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	if maxEnd > temporal.MinTime {
+		s.emitBoundaries(maxEnd)
+	}
+}

@@ -1,0 +1,52 @@
+package ops
+
+import (
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// IStream emits an instantaneous (chronon) element whenever a value enters
+// the snapshot — CQL's ISTREAM relation-to-stream operator, realised per
+// element: (v, [s,e)) ↦ (v, [s,s+1)).
+type IStream struct {
+	pubsub.PipeBase
+}
+
+// NewIStream returns an ISTREAM converter.
+func NewIStream(name string) *IStream {
+	return &IStream{PipeBase: pubsub.NewPipeBase(name, 1)}
+}
+
+// Process implements pubsub.Sink.
+func (s *IStream) Process(e temporal.Element, _ int) {
+	s.ProcMu.Lock()
+	defer s.ProcMu.Unlock()
+	s.Transfer(temporal.NewElement(e.Value, e.Start, e.Start+1))
+}
+
+// DStream emits a chronon element whenever a value leaves the snapshot —
+// CQL's DSTREAM: (v, [s,e)) ↦ (v, [e,e+1)). Because interval ends are not
+// arrival-ordered, results pass through an order buffer. Elements with
+// unbounded validity never leave and produce no output.
+type DStream struct {
+	pubsub.PipeBase
+	out *orderBuffer
+}
+
+// NewDStream returns a DSTREAM converter.
+func NewDStream(name string) *DStream {
+	d := &DStream{PipeBase: pubsub.NewPipeBase(name, 1), out: newOrderBuffer(1)}
+	d.OnAllDone = func() { d.out.flush(d.Transfer) }
+	return d
+}
+
+// Process implements pubsub.Sink.
+func (d *DStream) Process(e temporal.Element, _ int) {
+	d.ProcMu.Lock()
+	defer d.ProcMu.Unlock()
+	if e.End != temporal.MaxTime {
+		d.out.add(temporal.NewElement(e.Value, e.End, e.End+1))
+	}
+	d.out.observe(0, e.Start)
+	d.out.release(d.out.watermark(), d.Transfer)
+}

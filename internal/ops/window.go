@@ -1,0 +1,284 @@
+package ops
+
+import (
+	"fmt"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+	"pipes/internal/xds"
+)
+
+// TimeWindow implements the sliding time window (CQL: RANGE size): each
+// element's validity is extended to [Start, Start+size), so at any instant
+// t the snapshot contains the values that arrived during (t-size, t].
+type TimeWindow struct {
+	pubsub.PipeBase
+	size temporal.Time
+}
+
+// NewTimeWindow returns a sliding time window of the given positive size.
+func NewTimeWindow(name string, size temporal.Time) *TimeWindow {
+	if size <= 0 {
+		panic("ops: time window size must be positive")
+	}
+	return &TimeWindow{PipeBase: pubsub.NewPipeBase(name, 1), size: size}
+}
+
+// Size returns the window length.
+func (w *TimeWindow) Size() temporal.Time {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	return w.size
+}
+
+// Shrink reduces the window length by the given factor in (0,1) — the
+// window-shrinking load-shedding strategy: smaller windows mean less
+// downstream state at the price of approximate answers. The length never
+// drops below 1.
+func (w *TimeWindow) Shrink(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	w.size = temporal.Time(float64(w.size) * factor)
+	if w.size < 1 {
+		w.size = 1
+	}
+}
+
+// Process implements pubsub.Sink.
+func (w *TimeWindow) Process(e temporal.Element, _ int) {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	end := e.Start + w.size
+	if end < e.Start { // overflow
+		end = temporal.MaxTime
+	}
+	w.Transfer(temporal.NewElement(e.Value, e.Start, end))
+}
+
+// UnboundedWindow gives every element unbounded validity (CQL: RANGE
+// UNBOUNDED) — the stream-to-relation mapping for monotone accumulation.
+type UnboundedWindow struct {
+	pubsub.PipeBase
+}
+
+// NewUnboundedWindow returns an unbounded window.
+func NewUnboundedWindow(name string) *UnboundedWindow {
+	return &UnboundedWindow{PipeBase: pubsub.NewPipeBase(name, 1)}
+}
+
+// Process implements pubsub.Sink.
+func (w *UnboundedWindow) Process(e temporal.Element, _ int) {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	w.Transfer(temporal.NewElement(e.Value, e.Start, temporal.MaxTime))
+}
+
+// NowWindow restricts each element to the single instant of its arrival
+// (CQL: NOW).
+type NowWindow struct {
+	pubsub.PipeBase
+}
+
+// NewNowWindow returns a NOW window.
+func NewNowWindow(name string) *NowWindow {
+	return &NowWindow{PipeBase: pubsub.NewPipeBase(name, 1)}
+}
+
+// Process implements pubsub.Sink.
+func (w *NowWindow) Process(e temporal.Element, _ int) {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	w.Transfer(temporal.NewElement(e.Value, e.Start, e.Start+1))
+}
+
+// TumblingWindow assigns each element to its fixed, gap-free time granule
+// of the given size (CQL: RANGE size SLIDE size): an element arriving at s
+// is valid exactly during [⌊s/size⌋·size, ⌊s/size⌋·size + size). Combined
+// with a downstream aggregate this yields the classic "report every g the
+// last g" query shape.
+type TumblingWindow struct {
+	pubsub.PipeBase
+	size temporal.Time
+}
+
+// NewTumblingWindow returns a tumbling window of the given positive size.
+func NewTumblingWindow(name string, size temporal.Time) *TumblingWindow {
+	if size <= 0 {
+		panic("ops: tumbling window size must be positive")
+	}
+	return &TumblingWindow{PipeBase: pubsub.NewPipeBase(name, 1), size: size}
+}
+
+// Process implements pubsub.Sink.
+func (w *TumblingWindow) Process(e temporal.Element, _ int) {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	start := floorDiv(e.Start, w.size) * w.size
+	w.Transfer(temporal.NewElement(e.Value, start, start+w.size))
+}
+
+func floorDiv(a, b temporal.Time) temporal.Time {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// CountWindow implements the count-based window (CQL: ROWS n): an element
+// stays valid from its arrival until the n-th later element arrives and
+// displaces it. Elements never displaced (the final n) remain valid
+// forever and are emitted at end-of-stream.
+type CountWindow struct {
+	pubsub.PipeBase
+	n   int
+	buf xds.Queue[temporal.Element]
+}
+
+// NewCountWindow returns a count window of n rows, n > 0.
+func NewCountWindow(name string, n int) *CountWindow {
+	if n <= 0 {
+		panic("ops: count window size must be positive")
+	}
+	w := &CountWindow{PipeBase: pubsub.NewPipeBase(name, 1), n: n, buf: xds.NewQueue[temporal.Element]()}
+	w.OnAllDone = w.fflush
+	return w
+}
+
+// Process implements pubsub.Sink.
+func (w *CountWindow) Process(e temporal.Element, _ int) {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	if w.buf.Len() == w.n {
+		old, _ := w.buf.Dequeue()
+		end := e.Start
+		if end <= old.Start {
+			end = old.Start + 1 // simultaneous arrivals: keep interval non-empty
+		}
+		w.Transfer(temporal.NewElement(old.Value, old.Start, end))
+	}
+	w.buf.Enqueue(e)
+}
+
+func (w *CountWindow) fflush() {
+	for {
+		old, ok := w.buf.Dequeue()
+		if !ok {
+			return
+		}
+		w.Transfer(temporal.NewElement(old.Value, old.Start, temporal.MaxTime))
+	}
+}
+
+// PartitionedWindow implements the partitioned count window (CQL:
+// PARTITION BY key ROWS n): an independent ROWS-n window per key value.
+// Because displacements interleave across partitions, emissions pass
+// through an order buffer held back by the oldest still-buffered element.
+type PartitionedWindow struct {
+	pubsub.PipeBase
+	key  KeyFunc
+	n    int
+	part map[any]xds.Queue[temporal.Element]
+	// heads lazily tracks the start of each partition's oldest element —
+	// the holdback bound for ordered release.
+	heads *xds.Heap[partHead]
+	out   *orderBuffer
+}
+
+type partHead struct {
+	start temporal.Time
+	key   any
+}
+
+// NewPartitionedWindow returns a per-key ROWS-n window.
+func NewPartitionedWindow(name string, key KeyFunc, n int) *PartitionedWindow {
+	if key == nil {
+		panic("ops: nil partition key")
+	}
+	if n <= 0 {
+		panic("ops: partition window size must be positive")
+	}
+	w := &PartitionedWindow{
+		PipeBase: pubsub.NewPipeBase(name, 1),
+		key:      key,
+		n:        n,
+		part:     map[any]xds.Queue[temporal.Element]{},
+		heads:    xds.NewHeap[partHead](func(a, b partHead) bool { return a.start < b.start }),
+		out:      newOrderBuffer(1),
+	}
+	w.OnAllDone = w.fflush
+	return w
+}
+
+// Process implements pubsub.Sink.
+func (w *PartitionedWindow) Process(e temporal.Element, _ int) {
+	w.ProcMu.Lock()
+	defer w.ProcMu.Unlock()
+	k := w.key(e.Value)
+	q := w.part[k]
+	if q == nil {
+		q = xds.NewQueue[temporal.Element]()
+		w.part[k] = q
+	}
+	if q.Len() == w.n {
+		old, _ := q.Dequeue()
+		end := e.Start
+		if end <= old.Start {
+			end = old.Start + 1
+		}
+		w.out.add(temporal.NewElement(old.Value, old.Start, end))
+		if head, ok := q.Peek(); ok {
+			w.heads.Push(partHead{start: head.Start, key: k})
+		}
+	}
+	if q.Len() == 0 {
+		w.heads.Push(partHead{start: e.Start, key: k})
+	}
+	q.Enqueue(e)
+	w.out.observe(0, e.Start)
+	w.out.release(w.holdback(e.Start), w.Transfer)
+}
+
+// holdback returns min(arrival watermark, oldest buffered element start):
+// no future displacement or flush can emit below it.
+func (w *PartitionedWindow) holdback(wm temporal.Time) temporal.Time {
+	for {
+		top, ok := w.heads.Peek()
+		if !ok {
+			return wm
+		}
+		q, present := w.part[top.key]
+		if !present {
+			w.heads.Pop()
+			continue
+		}
+		head, nonEmpty := q.Peek()
+		if !nonEmpty || head.Start != top.start {
+			w.heads.Pop() // stale entry
+			continue
+		}
+		if top.start < wm {
+			return top.start
+		}
+		return wm
+	}
+}
+
+func (w *PartitionedWindow) fflush() {
+	for _, q := range w.part {
+		for {
+			old, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			w.out.add(temporal.NewElement(old.Value, old.Start, temporal.MaxTime))
+		}
+	}
+	w.out.flush(w.Transfer)
+}
+
+// String describes the window for EXPLAIN output.
+func (w *TimeWindow) String() string { return fmt.Sprintf("%s[range=%d]", w.Name(), w.size) }

@@ -1,0 +1,111 @@
+package optimizer
+
+import (
+	"pipes/internal/aggregate"
+	"pipes/internal/cql"
+)
+
+// tupleAgg folds tuples for one group: one sub-aggregate per CQL call,
+// plus the group's key values (taken from any member tuple — all share
+// them). Value() materialises the group's output tuple: key expressions
+// and call results under their canonical names.
+type tupleAgg struct {
+	keys  []cql.Expr
+	calls []cql.Call
+	subs  []aggregate.Aggregate
+	rep   cql.Tuple // representative member carrying the key values
+	n     int64
+}
+
+// newTupleAggFactory builds a factory; the second result reports whether
+// the composite supports removal (all sub-aggregates invertible), in which
+// case the factory produces Invertible composites and the group-by takes
+// its incremental fast path.
+func newTupleAggFactory(keys []cql.Expr, calls []cql.Call) (aggregate.Factory, bool, error) {
+	subFactories := make([]aggregate.Factory, len(calls))
+	invertible := true
+	for i, c := range calls {
+		f, err := aggregate.ByName(c.Fn)
+		if err != nil {
+			return nil, false, err
+		}
+		subFactories[i] = f
+		if _, ok := f().(aggregate.Invertible); !ok {
+			invertible = false
+		}
+	}
+	mk := func() *tupleAgg {
+		subs := make([]aggregate.Aggregate, len(calls))
+		for i, f := range subFactories {
+			subs[i] = f()
+		}
+		return &tupleAgg{keys: keys, calls: calls, subs: subs}
+	}
+	if invertible {
+		return func() aggregate.Aggregate { return &invertibleTupleAgg{tupleAgg: *mk()} }, true, nil
+	}
+	return func() aggregate.Aggregate { return mk() }, false, nil
+}
+
+// Insert implements aggregate.Aggregate; v must be a cql.Tuple.
+func (a *tupleAgg) Insert(v any) {
+	t := v.(cql.Tuple)
+	if a.rep == nil {
+		a.rep = t
+	}
+	a.n++
+	for i, c := range a.calls {
+		if c.Star {
+			a.subs[i].Insert(int64(1))
+			continue
+		}
+		if val := c.Arg.Eval(t); val != nil {
+			a.subs[i].Insert(val)
+		}
+	}
+}
+
+// Value implements aggregate.Aggregate: the group's output tuple.
+func (a *tupleAgg) Value() any {
+	out := cql.Tuple{}
+	for _, k := range a.keys {
+		out[k.String()] = k.Eval(a.rep)
+	}
+	for i, c := range a.calls {
+		out[c.String()] = a.subs[i].Value()
+	}
+	return out
+}
+
+// Reset implements aggregate.Aggregate.
+func (a *tupleAgg) Reset() {
+	a.rep = nil
+	a.n = 0
+	for _, s := range a.subs {
+		s.Reset()
+	}
+}
+
+// invertibleTupleAgg adds removal when every sub-aggregate supports it.
+type invertibleTupleAgg struct {
+	tupleAgg
+}
+
+// Remove implements aggregate.Invertible.
+func (a *invertibleTupleAgg) Remove(v any) {
+	t := v.(cql.Tuple)
+	a.n--
+	if a.n == 0 {
+		a.rep = nil
+	}
+	for i, c := range a.calls {
+		inv := a.subs[i].(aggregate.Invertible)
+		if c.Star {
+			inv.Remove(int64(1))
+			continue
+		}
+		if val := c.Arg.Eval(t); val != nil {
+			inv.Remove(val)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package optimizer
+
+import (
+	"testing"
+
+	"pipes/internal/cql"
+	"pipes/internal/pubsub"
+)
+
+func TestRemoveQueryGarbageCollectsOperators(t *testing.T) {
+	cat := NewCatalog()
+	src := tupleSource("s", nil)
+	cat.Register("s", src, 100)
+	o := New(cat)
+
+	q1, err := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.OperatorCount()
+	if before == 0 {
+		t.Fatal("nothing registered")
+	}
+	if err := o.RemoveQuery(q1); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.OperatorCount(); got != 0 {
+		t.Fatalf("registry holds %d operators after removing the only query", got)
+	}
+	// The raw source must have no remaining subscriptions.
+	if subs := src.Subscriptions(); len(subs) != 0 {
+		t.Fatalf("raw source still has %d subscribers", len(subs))
+	}
+}
+
+func TestRemoveQueryKeepsSharedOperators(t *testing.T) {
+	cat := NewCatalog()
+	src := tupleSource("s", []cql.Tuple{{"x": 5}, {"x": 1}})
+	cat.Register("s", src, 100)
+	o := New(cat)
+
+	q1, _ := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	q2, _ := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	full := o.OperatorCount()
+
+	if err := o.RemoveQuery(q1); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.OperatorCount(); got != full {
+		t.Fatalf("shared operators dropped while q2 still active: %d of %d", got, full)
+	}
+	// q2 must still receive results.
+	col := pubsub.NewCollector("col", 1)
+	q2.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() != 1 {
+		t.Fatalf("surviving query got %d results, want 1", col.Len())
+	}
+}
+
+func TestRemoveQueryPartialOverlap(t *testing.T) {
+	cat := NewCatalog()
+	src := tupleSource("s", nil)
+	cat.Register("s", src, 100)
+	o := New(cat)
+
+	q1, _ := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	q2, _ := o.AddQuery(parse(t, "SELECT x, x * 2 AS d FROM s [RANGE 100] WHERE x > 2"))
+
+	afterBoth := o.OperatorCount()
+	if err := o.RemoveQuery(q2); err != nil {
+		t.Fatal(err)
+	}
+	// Only q2's private projection goes away.
+	if got := o.OperatorCount(); got != afterBoth-1 {
+		t.Fatalf("operators after removing q2: %d, want %d", got, afterBoth-1)
+	}
+	if err := o.RemoveQuery(q1); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.OperatorCount(); got != 0 {
+		t.Fatalf("operators after removing both: %d", got)
+	}
+}
+
+func TestRemovedQueryStopsDelivering(t *testing.T) {
+	cat := NewCatalog()
+	src := tupleSource("s", []cql.Tuple{{"x": 5}, {"x": 9}})
+	cat.Register("s", src, 100)
+	o := New(cat)
+	q, _ := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	col := pubsub.NewCollector("col", 1)
+	q.Root.Subscribe(col, 0)
+	if err := o.RemoveQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		src.EmitNext()
+	}
+	if col.Len() != 0 {
+		t.Fatalf("removed query still delivered %d elements", col.Len())
+	}
+}
+
+func TestRemoveQueryNil(t *testing.T) {
+	o := New(NewCatalog())
+	if err := o.RemoveQuery(nil); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}
+
+func TestReAddAfterRemove(t *testing.T) {
+	cat := NewCatalog()
+	src := tupleSource("s", nil)
+	cat.Register("s", src, 100)
+	o := New(cat)
+	q1, _ := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100]"))
+	o.RemoveQuery(q1)
+	q2, err := o.AddQuery(parse(t, "SELECT x FROM s [RANGE 100]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.SharedNodes != 0 {
+		t.Fatalf("fresh re-add shared %d nodes from a removed plan", q2.SharedNodes)
+	}
+}
+
+func TestAddPlanInstantiatesAndShares(t *testing.T) {
+	cat := NewCatalog()
+	src := tupleSource("s", []cql.Tuple{{"x": 7}})
+	cat.Register("s", src, 100)
+	o := New(cat)
+
+	plan1, err := FromQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, err := o.AddPlan(plan1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same plan added again shares everything.
+	plan2, _ := FromQuery(parse(t, "SELECT x FROM s [RANGE 100] WHERE x > 2"))
+	i2, err := o.AddPlan(plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.NewNodes != 0 || i2.Root != i1.Root {
+		t.Fatalf("AddPlan did not share: new=%d", i2.NewNodes)
+	}
+	col := pubsub.NewCollector("col", 1)
+	i1.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() != 1 {
+		t.Fatalf("AddPlan query produced %d results", col.Len())
+	}
+}
+
+func TestAddPlanUnknownStream(t *testing.T) {
+	o := New(NewCatalog())
+	plan, _ := FromQuery(parse(t, "SELECT x FROM ghost [RANGE 10]"))
+	if _, err := o.AddPlan(plan); err == nil {
+		t.Fatal("unknown stream accepted by AddPlan")
+	}
+}

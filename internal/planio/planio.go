@@ -1,0 +1,288 @@
+// Package planio persists logical query plans as XML and restores them —
+// the storage half of the paper's visual query-plan tool (Fig. 2): plans
+// constructed interactively (here: via CQL text or the plan API) can be
+// saved to XML files, reloaded and instantiated later. Expressions are
+// stored in their canonical text form and re-parsed on load, so a plan
+// file round-trips exactly.
+package planio
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"pipes/internal/cql"
+	"pipes/internal/optimizer"
+)
+
+// Node is the XML representation of one logical plan node.
+type Node struct {
+	XMLName     xml.Name `xml:"node"`
+	Kind        string   `xml:"kind,attr"`
+	Stream      string   `xml:"stream,attr,omitempty"`
+	Qualifier   string   `xml:"qualifier,attr,omitempty"`
+	WindowKind  string   `xml:"window,attr,omitempty"`
+	N           int64    `xml:"n,attr,omitempty"`
+	Slide       int64    `xml:"slide,attr,omitempty"`
+	PartitionBy string   `xml:"partitionBy,attr,omitempty"`
+	Pred        string   `xml:"pred,attr,omitempty"`
+	RelOp       string   `xml:"relop,attr,omitempty"`
+	Keys        []string `xml:"key,omitempty"`
+	Calls       []string `xml:"call,omitempty"`
+	EquiLeft    []string `xml:"equileft,omitempty"`
+	EquiRight   []string `xml:"equiright,omitempty"`
+	Items       []Item   `xml:"item,omitempty"`
+	Children    []Node   `xml:"node,omitempty"`
+}
+
+// Item is one serialised projection item.
+type Item struct {
+	Star  bool   `xml:"star,attr,omitempty"`
+	Expr  string `xml:"expr,attr,omitempty"`
+	Alias string `xml:"alias,attr,omitempty"`
+}
+
+var windowKindNames = map[cql.WindowKind]string{
+	cql.WindowNone:          "",
+	cql.WindowRange:         "range",
+	cql.WindowRows:          "rows",
+	cql.WindowNow:           "now",
+	cql.WindowUnbounded:     "unbounded",
+	cql.WindowPartitionRows: "partition-rows",
+}
+
+var windowKindValues = map[string]cql.WindowKind{
+	"":               cql.WindowNone,
+	"range":          cql.WindowRange,
+	"rows":           cql.WindowRows,
+	"now":            cql.WindowNow,
+	"unbounded":      cql.WindowUnbounded,
+	"partition-rows": cql.WindowPartitionRows,
+}
+
+var relOpNames = map[cql.RelOp]string{
+	cql.RelIStream: "istream",
+	cql.RelDStream: "dstream",
+	cql.RelRStream: "rstream",
+}
+
+var relOpValues = map[string]cql.RelOp{
+	"istream": cql.RelIStream,
+	"dstream": cql.RelDStream,
+	"rstream": cql.RelRStream,
+}
+
+// Encode serialises a logical plan to indented XML.
+func Encode(p optimizer.Plan) ([]byte, error) {
+	n, err := toNode(p)
+	if err != nil {
+		return nil, err
+	}
+	return xml.MarshalIndent(n, "", "  ")
+}
+
+func toNode(p optimizer.Plan) (Node, error) {
+	switch v := p.(type) {
+	case *optimizer.Scan:
+		return Node{
+			Kind: "scan", Stream: v.Stream, Qualifier: v.Qualifier,
+			WindowKind: windowKindNames[v.Window.Kind], N: v.Window.N,
+			Slide: v.Window.Slide, PartitionBy: v.Window.PartitionBy,
+		}, nil
+	case *optimizer.Select:
+		child, err := toNode(v.Input)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Kind: "select", Pred: v.Pred.String(), Children: []Node{child}}, nil
+	case *optimizer.Join:
+		left, err := toNode(v.Left)
+		if err != nil {
+			return Node{}, err
+		}
+		right, err := toNode(v.Right)
+		if err != nil {
+			return Node{}, err
+		}
+		n := Node{Kind: "join", Children: []Node{left, right}}
+		for i := range v.EquiLeft {
+			n.EquiLeft = append(n.EquiLeft, v.EquiLeft[i].String())
+			n.EquiRight = append(n.EquiRight, v.EquiRight[i].String())
+		}
+		if v.Residual != nil {
+			n.Pred = v.Residual.String()
+		}
+		return n, nil
+	case *optimizer.Group:
+		child, err := toNode(v.Input)
+		if err != nil {
+			return Node{}, err
+		}
+		n := Node{Kind: "group", Children: []Node{child}}
+		for _, k := range v.Keys {
+			n.Keys = append(n.Keys, k.String())
+		}
+		for _, c := range v.Calls {
+			n.Calls = append(n.Calls, c.String())
+		}
+		return n, nil
+	case *optimizer.Project:
+		child, err := toNode(v.Input)
+		if err != nil {
+			return Node{}, err
+		}
+		n := Node{Kind: "project", Children: []Node{child}}
+		for _, it := range v.Items {
+			if it.Star {
+				n.Items = append(n.Items, Item{Star: true})
+				continue
+			}
+			n.Items = append(n.Items, Item{Expr: it.Expr.String(), Alias: it.Alias})
+		}
+		return n, nil
+	case *optimizer.Distinct:
+		child, err := toNode(v.Input)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Kind: "distinct", Children: []Node{child}}, nil
+	case *optimizer.Rel:
+		child, err := toNode(v.Input)
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{Kind: "rel", RelOp: relOpNames[v.Op], Slide: v.Slide, Children: []Node{child}}, nil
+	}
+	return Node{}, fmt.Errorf("planio: unknown plan node %T", p)
+}
+
+// Decode restores a logical plan from its XML form.
+func Decode(data []byte) (optimizer.Plan, error) {
+	var n Node
+	if err := xml.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("planio: %w", err)
+	}
+	return fromNode(n)
+}
+
+func fromNode(n Node) (optimizer.Plan, error) {
+	child := func(i int) (optimizer.Plan, error) {
+		if len(n.Children) <= i {
+			return nil, fmt.Errorf("planio: %s node missing child %d", n.Kind, i)
+		}
+		return fromNode(n.Children[i])
+	}
+	switch n.Kind {
+	case "scan":
+		kind, ok := windowKindValues[n.WindowKind]
+		if !ok {
+			return nil, fmt.Errorf("planio: unknown window kind %q", n.WindowKind)
+		}
+		return &optimizer.Scan{
+			Stream: n.Stream, Qualifier: n.Qualifier,
+			Window: cql.Window{Kind: kind, N: n.N, Slide: n.Slide, PartitionBy: n.PartitionBy},
+		}, nil
+	case "select":
+		in, err := child(0)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := cql.ParseExpr(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return &optimizer.Select{Input: in, Pred: pred}, nil
+	case "join":
+		left, err := child(0)
+		if err != nil {
+			return nil, err
+		}
+		right, err := child(1)
+		if err != nil {
+			return nil, err
+		}
+		j := &optimizer.Join{Left: left, Right: right}
+		if len(n.EquiLeft) != len(n.EquiRight) {
+			return nil, fmt.Errorf("planio: unbalanced equi-key lists")
+		}
+		for i := range n.EquiLeft {
+			l, err := cql.ParseExpr(n.EquiLeft[i])
+			if err != nil {
+				return nil, err
+			}
+			r, err := cql.ParseExpr(n.EquiRight[i])
+			if err != nil {
+				return nil, err
+			}
+			j.EquiLeft = append(j.EquiLeft, l)
+			j.EquiRight = append(j.EquiRight, r)
+		}
+		if n.Pred != "" {
+			res, err := cql.ParseExpr(n.Pred)
+			if err != nil {
+				return nil, err
+			}
+			j.Residual = res
+		}
+		return j, nil
+	case "group":
+		in, err := child(0)
+		if err != nil {
+			return nil, err
+		}
+		g := &optimizer.Group{Input: in}
+		for _, k := range n.Keys {
+			e, err := cql.ParseExpr(k)
+			if err != nil {
+				return nil, err
+			}
+			g.Keys = append(g.Keys, e)
+		}
+		for _, c := range n.Calls {
+			e, err := cql.ParseExpr(c)
+			if err != nil {
+				return nil, err
+			}
+			call, ok := e.(cql.Call)
+			if !ok {
+				return nil, fmt.Errorf("planio: %q is not an aggregate call", c)
+			}
+			g.Calls = append(g.Calls, call)
+		}
+		return g, nil
+	case "project":
+		in, err := child(0)
+		if err != nil {
+			return nil, err
+		}
+		p := &optimizer.Project{Input: in}
+		for _, it := range n.Items {
+			if it.Star {
+				p.Items = append(p.Items, cql.SelectItem{Star: true})
+				continue
+			}
+			e, err := cql.ParseExpr(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			p.Items = append(p.Items, cql.SelectItem{Expr: e, Alias: it.Alias})
+		}
+		return p, nil
+	case "distinct":
+		in, err := child(0)
+		if err != nil {
+			return nil, err
+		}
+		return &optimizer.Distinct{Input: in}, nil
+	case "rel":
+		in, err := child(0)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := relOpValues[n.RelOp]
+		if !ok {
+			return nil, fmt.Errorf("planio: unknown relation operator %q", n.RelOp)
+		}
+		return &optimizer.Rel{Input: in, Op: op, Slide: n.Slide}, nil
+	}
+	return nil, fmt.Errorf("planio: unknown node kind %q", n.Kind)
+}

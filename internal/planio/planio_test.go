@@ -1,0 +1,135 @@
+package planio
+
+import (
+	"strings"
+	"testing"
+
+	"pipes/internal/cql"
+	"pipes/internal/optimizer"
+)
+
+func planOf(t *testing.T, query string) optimizer.Plan {
+	t.Helper()
+	q, err := cql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := optimizer.FromQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func roundTrip(t *testing.T, query string) {
+	t.Helper()
+	p := planOf(t, query)
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatalf("%s: Encode: %v", query, err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("%s: Decode: %v\nxml:\n%s", query, err, data)
+	}
+	if back.Signature() != p.Signature() {
+		t.Fatalf("%s: signature changed:\nbefore %s\nafter  %s\nxml:\n%s",
+			query, p.Signature(), back.Signature(), data)
+	}
+}
+
+func TestRoundTripQueries(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM s [RANGE 10]",
+		"SELECT x FROM s [ROWS 5] WHERE x > 1",
+		"SELECT x, x * 2 AS d FROM s [NOW] WHERE x > 1 AND x < 9",
+		"SELECT * FROM a [RANGE 10], b [UNBOUNDED] WHERE a.k = b.k AND a.v < b.v",
+		"SELECT k, AVG(x) AS m FROM s [RANGE 100] GROUP BY k HAVING COUNT(*) > 1",
+		"SELECT DISTINCT x FROM s [RANGE 10]",
+		"ISTREAM(SELECT x FROM s [RANGE 10])",
+		"DSTREAM(SELECT x FROM s [RANGE 10])",
+		"RSTREAM(SELECT x FROM s [RANGE 10], SLIDE 5)",
+		"SELECT * FROM s [PARTITION BY k ROWS 3]",
+		"SELECT * FROM s [RANGE 60 SLIDE 60]",
+	} {
+		roundTrip(t, q)
+	}
+}
+
+func TestEncodeProducesReadableXML(t *testing.T) {
+	p := planOf(t, "SELECT x FROM s [RANGE 10] WHERE x > 1")
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`kind="project"`, `kind="select"`, `kind="scan"`, `stream="s"`, `window="range"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("xml missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"garbage":       "not xml at all <<",
+		"unknown kind":  `<node kind="frobnicate"/>`,
+		"missing child": `<node kind="select" pred="(x &gt; 1)"/>`,
+		"bad pred":      `<node kind="select" pred="x >"><node kind="scan" stream="s"/></node>`,
+		"bad window":    `<node kind="scan" stream="s" window="weird"/>`,
+		"bad relop":     `<node kind="rel" relop="zstream"><node kind="scan" stream="s"/></node>`,
+		"non-call":      `<node kind="group"><call>x + 1</call><node kind="scan" stream="s"/></node>`,
+	} {
+		if _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodedPlanInstantiates(t *testing.T) {
+	p := planOf(t, "SELECT x FROM s [RANGE 10] WHERE x > 1")
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A decoded plan must explain identically.
+	if optimizer.Explain(back) != optimizer.Explain(p) {
+		t.Fatal("explain differs after round trip")
+	}
+}
+
+func TestEncodeStarProjection(t *testing.T) {
+	roundTrip(t, "SELECT *, x AS y FROM s [RANGE 10]")
+}
+
+func TestEncodeUnknownPlanNode(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestDecodeJoinMissingChild(t *testing.T) {
+	xml := `<node kind="join"><node kind="scan" stream="s"/></node>`
+	if _, err := Decode([]byte(xml)); err == nil {
+		t.Fatal("join with one child accepted")
+	}
+}
+
+func TestDecodeUnbalancedEquiKeys(t *testing.T) {
+	xml := `<node kind="join"><equileft>a.k</equileft>` +
+		`<node kind="scan" stream="a"/><node kind="scan" stream="b"/></node>`
+	if _, err := Decode([]byte(xml)); err == nil {
+		t.Fatal("unbalanced equi keys accepted")
+	}
+}
+
+func TestDecodeBadKeyExpr(t *testing.T) {
+	xml := `<node kind="group"><key>x +</key><node kind="scan" stream="s"/></node>`
+	if _, err := Decode([]byte(xml)); err == nil {
+		t.Fatal("bad key expression accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package pubsub
+
+import (
+	"sync"
+
+	"pipes/internal/temporal"
+	"pipes/internal/xds"
+)
+
+// Buffer is an explicit inter-operator queue, modelled as a pipe. PIPES
+// connects operators directly and inserts buffers only at virtual-node
+// boundaries, where the scheduler decouples producer and consumer threads:
+// Process enqueues, Drain (called by the scheduler) dequeues and publishes.
+//
+// Done is deferred until the queue has drained, preserving end-of-stream
+// ordering. A buffer must be drained by a single scheduler thread at a
+// time; Process may be called concurrently with Drain.
+type Buffer struct {
+	SourceBase
+
+	mu           sync.Mutex
+	q            xds.Queue[temporal.Element]
+	upstreamDone bool
+}
+
+// NewBuffer returns an unbounded buffer.
+func NewBuffer(name string) *Buffer {
+	return &Buffer{SourceBase: NewSourceBase(name), q: xds.NewQueue[temporal.Element]()}
+}
+
+// Process implements Sink by enqueueing.
+func (b *Buffer) Process(e temporal.Element, _ int) {
+	b.mu.Lock()
+	b.q.Enqueue(e) // unbounded queue: cannot fail
+	b.mu.Unlock()
+}
+
+// Done implements Sink. Completion propagates immediately if the buffer is
+// empty, otherwise on the Drain call that empties it.
+func (b *Buffer) Done(_ int) {
+	b.mu.Lock()
+	b.upstreamDone = true
+	empty := b.q.Len() == 0
+	b.mu.Unlock()
+	if empty {
+		b.SignalDone()
+	}
+}
+
+// Drain dequeues and publishes up to max elements (all buffered elements
+// if max <= 0) and returns how many were transferred. If the upstream has
+// signalled done and the buffer empties, done is propagated downstream.
+func (b *Buffer) Drain(max int) int {
+	n := 0
+	for max <= 0 || n < max {
+		b.mu.Lock()
+		e, ok := b.q.Dequeue()
+		if !ok {
+			done := b.upstreamDone
+			b.mu.Unlock()
+			if done {
+				b.SignalDone()
+			}
+			return n
+		}
+		b.mu.Unlock()
+		b.Transfer(e)
+		n++
+	}
+	b.mu.Lock()
+	finished := b.upstreamDone && b.q.Len() == 0
+	b.mu.Unlock()
+	if finished {
+		b.SignalDone()
+	}
+	return n
+}
+
+// Len returns the number of buffered elements.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.q.Len()
+}
+
+// UpstreamDone reports whether the producer side has signalled done.
+func (b *Buffer) UpstreamDone() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.upstreamDone
+}

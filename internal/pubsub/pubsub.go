@@ -1,0 +1,269 @@
+// Package pubsub implements the inherent publish-subscribe architecture of
+// PIPES: directed acyclic query graphs whose nodes are sources, sinks and
+// pipes (operators). Subscriptions connect a source directly to the
+// Process method of each subscribed sink — no inter-operator queue is
+// involved — which is the paper's central overhead reduction. Explicit
+// Buffer nodes reintroduce queues only where the scheduler places
+// virtual-node boundaries.
+//
+// Node taxonomy (paper, section "Query Plans"):
+//
+//  1. A Source transfers its elements to a set of subscribed sinks.
+//  2. A Sink subscribes to multiple sources and consumes their elements.
+//  3. A Pipe combines both: it consumes, processes and re-publishes.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pipes/internal/temporal"
+)
+
+// Node is anything addressable in a query graph.
+type Node interface {
+	// Name returns a short human-readable identifier used by EXPLAIN
+	// output, the monitor and the optimizer.
+	Name() string
+}
+
+// Sink consumes stream elements from one or more subscribed sources. The
+// input index distinguishes the sources of a multi-input operator (e.g. a
+// join's left/right inputs).
+type Sink interface {
+	Node
+	// Process consumes one element arriving on the given input. It is
+	// invoked synchronously by the publishing source; implementations
+	// must serialise internally if they can be subscribed to concurrently
+	// publishing sources.
+	Process(e temporal.Element, input int)
+	// Done signals that no further elements will arrive on the given
+	// input. Multi-input sinks act (flush, propagate) once all inputs are
+	// done.
+	Done(input int)
+}
+
+// Source publishes stream elements to its subscribed sinks.
+type Source interface {
+	Node
+	// Subscribe registers sink to receive future elements on the sink's
+	// given input index.
+	Subscribe(sink Sink, input int) error
+	// Unsubscribe removes a previously registered subscription.
+	Unsubscribe(sink Sink, input int) error
+	// Subscriptions returns a snapshot of the current subscriptions.
+	Subscriptions() []Subscription
+}
+
+// Pipe is an operator: simultaneously a sink and a source.
+type Pipe interface {
+	Source
+	Sink
+}
+
+// Subscription is one (sink, input) registration at a source.
+type Subscription struct {
+	Sink  Sink
+	Input int
+}
+
+// ErrDone is returned by Subscribe when the source has already signalled
+// end-of-stream; new subscribers would never receive anything.
+var ErrDone = errors.New("pubsub: source already signalled done")
+
+// ErrNotSubscribed is returned by Unsubscribe when the (sink, input) pair
+// is not registered.
+var ErrNotSubscribed = errors.New("pubsub: not subscribed")
+
+// SourceBase provides the reusable publishing half of a node: a
+// thread-safe subscriber list plus Transfer/SignalDone. Embed it in
+// sources and (via PipeBase) in operators.
+type SourceBase struct {
+	name string
+
+	mu   sync.RWMutex
+	subs []Subscription
+	done bool
+}
+
+// NewSourceBase returns a SourceBase with the given display name.
+func NewSourceBase(name string) SourceBase { return SourceBase{name: name} }
+
+// Name implements Node.
+func (s *SourceBase) Name() string { return s.name }
+
+// SetName replaces the display name (used by decorators).
+func (s *SourceBase) SetName(name string) { s.name = name }
+
+// Subscribe implements Source.
+func (s *SourceBase) Subscribe(sink Sink, input int) error {
+	if sink == nil {
+		return errors.New("pubsub: nil sink")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return ErrDone
+	}
+	for _, sub := range s.subs {
+		if sub.Sink == sink && sub.Input == input {
+			return fmt.Errorf("pubsub: %s already subscribed to %s input %d", sink.Name(), s.name, input)
+		}
+	}
+	s.subs = append(s.subs, Subscription{Sink: sink, Input: input})
+	return nil
+}
+
+// Unsubscribe implements Source.
+func (s *SourceBase) Unsubscribe(sink Sink, input int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, sub := range s.subs {
+		if sub.Sink == sink && sub.Input == input {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return nil
+		}
+	}
+	return ErrNotSubscribed
+}
+
+// Subscriptions implements Source.
+func (s *SourceBase) Subscriptions() []Subscription {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Subscription, len(s.subs))
+	copy(out, s.subs)
+	return out
+}
+
+// Transfer publishes e synchronously to every subscribed sink. This direct
+// hand-off — a plain method call into the consumer — is what replaces
+// inter-operator queues.
+func (s *SourceBase) Transfer(e temporal.Element) {
+	s.mu.RLock()
+	subs := s.subs
+	s.mu.RUnlock()
+	for _, sub := range subs {
+		sub.Sink.Process(e, sub.Input)
+	}
+}
+
+// SignalDone propagates end-of-stream to all subscribers exactly once.
+func (s *SourceBase) SignalDone() {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	subs := make([]Subscription, len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.Sink.Done(sub.Input)
+	}
+}
+
+// IsDone reports whether SignalDone has been called.
+func (s *SourceBase) IsDone() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.done
+}
+
+// PipeBase provides the reusable consuming half of an operator on top of
+// SourceBase: a processing mutex serialising Process/Done across
+// concurrently publishing upstream sources, open-input bookkeeping and a
+// flush hook invoked once when every input has signalled done.
+//
+// Concrete operators embed PipeBase, implement Process themselves (taking
+// ProcMu) and may set OnAllDone to flush buffered state before done
+// propagates.
+type PipeBase struct {
+	SourceBase
+
+	// ProcMu serialises element processing. Operators lock it in Process.
+	ProcMu sync.Mutex
+
+	// OnAllDone, if non-nil, runs under ProcMu once after the last input
+	// signals done and before done is propagated downstream. Operators use
+	// it to emit buffered results (the algebra stays non-blocking: results
+	// are emitted as early as timestamps permit, this hook only drains the
+	// tail).
+	OnAllDone func()
+
+	// OnInputDone, if non-nil, runs under ProcMu when an individual input
+	// first signals done (before OnAllDone for the last input).
+	// Multi-input operators use it to advance that input's watermark to
+	// infinity and release buffered results.
+	OnInputDone func(input int)
+
+	inputs int
+	closed []bool
+	open   int
+}
+
+// NewPipeBase returns a PipeBase for an operator with the given number of
+// inputs (its arity).
+func NewPipeBase(name string, inputs int) PipeBase {
+	if inputs <= 0 {
+		panic("pubsub: operator arity must be positive")
+	}
+	return PipeBase{
+		SourceBase: NewSourceBase(name),
+		inputs:     inputs,
+		closed:     make([]bool, inputs),
+		open:       inputs,
+	}
+}
+
+// Inputs returns the operator arity.
+func (p *PipeBase) Inputs() int { return p.inputs }
+
+// Done implements Sink. It tolerates duplicate done signals per input and
+// out-of-range inputs are ignored (defensive: a miswired graph should not
+// crash the runtime).
+func (p *PipeBase) Done(input int) {
+	p.ProcMu.Lock()
+	if input < 0 || input >= p.inputs || p.closed[input] {
+		p.ProcMu.Unlock()
+		return
+	}
+	p.closed[input] = true
+	p.open--
+	last := p.open == 0
+	if p.OnInputDone != nil {
+		p.OnInputDone(input)
+	}
+	if last && p.OnAllDone != nil {
+		p.OnAllDone()
+	}
+	p.ProcMu.Unlock()
+	if last {
+		p.SignalDone()
+	}
+}
+
+// InputDone reports whether the given input has signalled done.
+func (p *PipeBase) InputDone(input int) bool {
+	p.ProcMu.Lock()
+	defer p.ProcMu.Unlock()
+	return input >= 0 && input < p.inputs && p.closed[input]
+}
+
+// Connect subscribes each pipe in the chain to its predecessor and returns
+// the last node, enabling fluent graph construction:
+//
+//	pubsub.Connect(src, filter, window, agg)
+//	agg.Subscribe(sink, 0)
+func Connect(src Source, pipeChain ...Pipe) Source {
+	cur := src
+	for _, p := range pipeChain {
+		if err := cur.Subscribe(p, 0); err != nil {
+			panic(fmt.Sprintf("pubsub: Connect: %v", err))
+		}
+		cur = p
+	}
+	return cur
+}

@@ -1,0 +1,125 @@
+package pubsub
+
+import (
+	"context"
+
+	"pipes/internal/temporal"
+)
+
+// Emitter is an active source that can be driven stepwise, one element per
+// EmitNext call. The scheduler activates emitters this way; Drive loops an
+// emitter to exhaustion for tests and simple programs.
+type Emitter interface {
+	Source
+	// EmitNext publishes the next element to the subscribers and reports
+	// whether more elements may follow. On exhaustion it signals done and
+	// returns false.
+	EmitNext() bool
+}
+
+// Drive runs an emitter to exhaustion synchronously.
+func Drive(e Emitter) {
+	for e.EmitNext() {
+	}
+}
+
+// SliceSource publishes a fixed, pre-ordered slice of elements. It is the
+// workhorse of tests and of ingesting finite historical data.
+type SliceSource struct {
+	SourceBase
+	elems []temporal.Element
+	pos   int
+}
+
+// NewSliceSource returns a source emitting elems in order.
+func NewSliceSource(name string, elems []temporal.Element) *SliceSource {
+	return &SliceSource{SourceBase: NewSourceBase(name), elems: elems}
+}
+
+// EmitNext implements Emitter.
+func (s *SliceSource) EmitNext() bool {
+	if s.pos >= len(s.elems) {
+		s.SignalDone()
+		return false
+	}
+	e := s.elems[s.pos]
+	s.pos++
+	s.Transfer(e)
+	return true
+}
+
+// Remaining returns the number of unpublished elements.
+func (s *SliceSource) Remaining() int { return len(s.elems) - s.pos }
+
+// FuncSource adapts a generator function to a source. The function returns
+// the next element and false when exhausted.
+type FuncSource struct {
+	SourceBase
+	next func() (temporal.Element, bool)
+}
+
+// NewFuncSource returns a source driven by next.
+func NewFuncSource(name string, next func() (temporal.Element, bool)) *FuncSource {
+	return &FuncSource{SourceBase: NewSourceBase(name), next: next}
+}
+
+// EmitNext implements Emitter.
+func (s *FuncSource) EmitNext() bool {
+	e, ok := s.next()
+	if !ok {
+		s.SignalDone()
+		return false
+	}
+	s.Transfer(e)
+	return true
+}
+
+// ChanSource adapts a Go channel of elements to a source: the idiomatic
+// wrapper for autonomous data sources (sensors, network feeds) that push
+// asynchronously. Run pumps the channel into the graph until the channel
+// closes or the context is cancelled.
+type ChanSource struct {
+	SourceBase
+	ch <-chan temporal.Element
+}
+
+// NewChanSource returns a source fed by ch.
+func NewChanSource(name string, ch <-chan temporal.Element) *ChanSource {
+	return &ChanSource{SourceBase: NewSourceBase(name), ch: ch}
+}
+
+// Run pumps elements until the channel closes (then signals done) or ctx
+// is cancelled (then signals done without draining). It returns ctx.Err()
+// on cancellation and nil on clean channel closure.
+func (s *ChanSource) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			s.SignalDone()
+			return ctx.Err()
+		case e, ok := <-s.ch:
+			if !ok {
+				s.SignalDone()
+				return nil
+			}
+			s.Transfer(e)
+		}
+	}
+}
+
+// EmitNext implements Emitter with a non-blocking receive so a scheduler
+// can poll the channel without stalling other nodes. It returns true (keep
+// polling) while the channel is open, even if no element was available.
+func (s *ChanSource) EmitNext() bool {
+	select {
+	case e, ok := <-s.ch:
+		if !ok {
+			s.SignalDone()
+			return false
+		}
+		s.Transfer(e)
+		return true
+	default:
+		return true
+	}
+}

@@ -1,0 +1,181 @@
+// Package sched implements PIPES' 3-layer scheduling framework [6]:
+//
+//   - Layer 1 (virtual nodes): consecutive operators connected directly via
+//     publish-subscribe execute as one unit; an explicit pubsub.Buffer is
+//     placed only at virtual-node boundaries. Fusing eliminates
+//     inter-operator queues inside the unit (the paper's headline overhead
+//     reduction; experiments E2/E3).
+//   - Layer 2 (strategies): within one thread, a pluggable Strategy picks
+//     the next task (a buffer to drain or a source to advance). The
+//     framework is expressive enough to host the published scheduling
+//     disciplines — round-robin, FIFO-like fixed priority, random, Chain
+//     [4] (memory minimisation), rate-based [9] (output-rate
+//     maximisation), and highest-backlog — making it the algorithmic
+//     testbed the paper demonstrates (experiment E4).
+//   - Layer 3 (threads): tasks are partitioned across worker goroutines,
+//     each running its own layer-2 strategy. One worker reproduces
+//     single-threaded engines; one task per worker reproduces
+//     thread-per-operator engines; anything between is the paper's hybrid.
+package sched
+
+import (
+	"errors"
+	"sync"
+
+	"pipes/internal/pubsub"
+)
+
+// Task is one schedulable unit of work.
+type Task interface {
+	// Name identifies the task in stats output.
+	Name() string
+	// RunBatch performs up to max work units (element transfers) and
+	// returns how many were performed and whether the task is finished
+	// for good.
+	RunBatch(max int) (n int, done bool)
+	// Backlog returns the task's pending work (0 when nothing is ready
+	// right now; emitters with unknown backlog report 1 until done).
+	Backlog() int
+}
+
+// Profiled is optionally implemented by tasks that can report cost and
+// selectivity estimates; the Chain and rate-based strategies consult it.
+type Profiled interface {
+	// Selectivity is the task's outputs-per-input estimate.
+	Selectivity() float64
+	// CostNS is the estimated processing cost per element in nanoseconds.
+	CostNS() float64
+}
+
+// EmitterTask drives an active source one element per work unit.
+type EmitterTask struct {
+	emitter pubsub.Emitter
+	done    bool
+}
+
+// NewEmitterTask wraps an emitter.
+func NewEmitterTask(e pubsub.Emitter) *EmitterTask { return &EmitterTask{emitter: e} }
+
+// Name implements Task.
+func (t *EmitterTask) Name() string { return t.emitter.Name() }
+
+// RunBatch implements Task.
+func (t *EmitterTask) RunBatch(max int) (int, bool) {
+	if t.done {
+		return 0, true
+	}
+	n := 0
+	for n < max {
+		if !t.emitter.EmitNext() {
+			t.done = true
+			return n, true
+		}
+		n++
+	}
+	return n, false
+}
+
+// Backlog implements Task: emitters always have (potential) work until
+// exhausted.
+func (t *EmitterTask) Backlog() int {
+	if t.done {
+		return 0
+	}
+	return 1
+}
+
+// BufferTask drains one virtual-node boundary buffer. Draining an element
+// executes the entire downstream virtual node synchronously (direct
+// connections), so one BufferTask represents one fused virtual node.
+type BufferTask struct {
+	buf  *pubsub.Buffer
+	done bool
+
+	// static profile used by profile-driven strategies when no live
+	// metadata is attached.
+	sel  float64
+	cost float64
+}
+
+// NewBufferTask wraps a boundary buffer.
+func NewBufferTask(b *pubsub.Buffer) *BufferTask {
+	return &BufferTask{buf: b, sel: 1, cost: 1}
+}
+
+// SetProfile sets the selectivity and per-element cost estimates consulted
+// by Chain and rate-based strategies (live metadata may overwrite them).
+func (t *BufferTask) SetProfile(selectivity, costNS float64) {
+	t.sel, t.cost = selectivity, costNS
+}
+
+// Name implements Task.
+func (t *BufferTask) Name() string { return t.buf.Name() }
+
+// RunBatch implements Task.
+func (t *BufferTask) RunBatch(max int) (int, bool) {
+	n := t.buf.Drain(max)
+	if t.buf.UpstreamDone() && t.buf.Len() == 0 {
+		// Drain(0 remaining) has propagated done downstream.
+		t.done = true
+	}
+	return n, t.done
+}
+
+// Backlog implements Task.
+func (t *BufferTask) Backlog() int { return t.buf.Len() }
+
+// Selectivity implements Profiled.
+func (t *BufferTask) Selectivity() float64 { return t.sel }
+
+// CostNS implements Profiled.
+func (t *BufferTask) CostNS() float64 { return t.cost }
+
+// Boundary splices a buffer between src and (sink, input) and returns its
+// task: the layer-1 primitive that ends one virtual node and starts the
+// next.
+func Boundary(name string, src pubsub.Source, sink pubsub.Sink, input int) (*BufferTask, error) {
+	if src == nil || sink == nil {
+		return nil, errors.New("sched: boundary requires source and sink")
+	}
+	buf := pubsub.NewBuffer(name)
+	if err := src.Subscribe(buf, 0); err != nil {
+		return nil, err
+	}
+	if err := buf.Subscribe(sink, input); err != nil {
+		return nil, err
+	}
+	return NewBufferTask(buf), nil
+}
+
+// TaskStats is a per-task progress snapshot.
+type TaskStats struct {
+	Name       string
+	Processed  int64
+	MaxBacklog int
+	Done       bool
+}
+
+// trackedTask decorates a task with stats, guarded by the owning worker.
+type trackedTask struct {
+	Task
+	mu         sync.Mutex
+	processed  int64
+	maxBacklog int
+	done       bool
+}
+
+func (t *trackedTask) observe(n int, done bool) {
+	t.mu.Lock()
+	t.processed += int64(n)
+	if b := t.Backlog(); b > t.maxBacklog {
+		t.maxBacklog = b
+	}
+	t.done = done
+	t.mu.Unlock()
+}
+
+func (t *trackedTask) stats() TaskStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TaskStats{Name: t.Name(), Processed: t.processed, MaxBacklog: t.maxBacklog, Done: t.done}
+}

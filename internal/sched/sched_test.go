@@ -1,0 +1,282 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"pipes/internal/ops"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+func chronons(n int) []temporal.Element {
+	out := make([]temporal.Element, n)
+	for i := range out {
+		out[i] = temporal.At(i, temporal.Time(i))
+	}
+	return out
+}
+
+// buildChain wires src → buffer → filter → map → collector, returning the
+// tasks (emitter + boundary) and the collector. The filter+map pair forms
+// one virtual node behind the boundary buffer.
+func buildChain(n int) (*EmitterTask, *BufferTask, *pubsub.Collector) {
+	src := pubsub.NewSliceSource("src", chronons(n))
+	f := ops.NewFilter("f", func(v any) bool { return v.(int)%2 == 0 })
+	m := ops.NewMap("m", func(v any) any { return v.(int) * 10 })
+	col := pubsub.NewCollector("col", 1)
+	bt, err := Boundary("buf", src, f, 0)
+	if err != nil {
+		panic(err)
+	}
+	f.Subscribe(m, 0)
+	m.Subscribe(col, 0)
+	return NewEmitterTask(src), bt, col
+}
+
+func TestSchedulerRunsPipelineToCompletion(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		emit, buf, col := buildChain(1000)
+		s := New(Config{Workers: workers})
+		s.Add(emit)
+		s.Add(buf)
+		s.Start()
+		s.Wait()
+		col.Wait()
+		if col.Len() != 500 {
+			t.Fatalf("workers=%d: collected %d, want 500", workers, col.Len())
+		}
+	}
+}
+
+func TestSchedulerAllStrategies(t *testing.T) {
+	for _, mk := range []Factory{
+		RoundRobin(), FIFO(), Random(1), Chain(), RateBased(), HighestBacklog(),
+	} {
+		emit, buf, col := buildChain(500)
+		s := New(Config{Workers: 1, Strategy: mk})
+		s.Add(emit)
+		s.Add(buf)
+		s.Start()
+		s.Wait()
+		col.Wait()
+		if col.Len() != 250 {
+			t.Fatalf("%s: collected %d, want 250", mk().Name(), col.Len())
+		}
+	}
+}
+
+func TestSchedulerPreservesOrder(t *testing.T) {
+	emit, buf, col := buildChain(2000)
+	s := New(Config{Workers: 2, BatchSize: 7})
+	s.Add(emit)
+	s.Add(buf)
+	s.Start()
+	s.Wait()
+	col.Wait()
+	vals := col.Values()
+	for i := 1; i < len(vals); i++ {
+		if vals[i].(int) <= vals[i-1].(int) {
+			t.Fatalf("order violated at %d: %v then %v", i, vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestSchedulerStats(t *testing.T) {
+	emit, buf, col := buildChain(300)
+	s := New(Config{Workers: 1, BatchSize: 10})
+	s.Add(emit)
+	s.Add(buf)
+	s.Start()
+	s.Wait()
+	col.Wait()
+	stats := s.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	var total int64
+	for _, st := range stats {
+		if !st.Done {
+			t.Fatalf("task %s not done", st.Name)
+		}
+		total += st.Processed
+	}
+	if total < 600 { // 300 emitted + 300 drained
+		t.Fatalf("total processed = %d, want >= 600", total)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	// An emitter that never finishes; Stop must terminate the workers.
+	i := 0
+	src := pubsub.NewFuncSource("inf", func() (temporal.Element, bool) {
+		i++
+		return temporal.At(i, temporal.Time(i)), true
+	})
+	sink := pubsub.NewCounter("ctr", 1)
+	src.Subscribe(sink, 0)
+	s := New(Config{Workers: 1})
+	s.Add(NewEmitterTask(src))
+	s.Start()
+	time.Sleep(5 * time.Millisecond)
+	doneC := make(chan struct{})
+	go func() { s.Stop(); close(doneC) }()
+	select {
+	case <-doneC:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not terminate workers")
+	}
+	if sink.Count() == 0 {
+		t.Fatal("emitter never ran")
+	}
+}
+
+func TestBoundaryValidation(t *testing.T) {
+	if _, err := Boundary("b", nil, nil, 0); err == nil {
+		t.Fatal("Boundary accepted nil endpoints")
+	}
+}
+
+func TestAddToPinsTask(t *testing.T) {
+	emit, buf, col := buildChain(100)
+	s := New(Config{Workers: 2})
+	s.AddTo(0, emit)
+	s.AddTo(1, buf)
+	s.Start()
+	s.Wait()
+	col.Wait()
+	if col.Len() != 50 {
+		t.Fatalf("collected %d, want 50", col.Len())
+	}
+}
+
+// strategyTask is a synthetic task for strategy unit tests.
+type strategyTask struct {
+	name    string
+	backlog int
+	sel     float64
+	cost    float64
+}
+
+func (t *strategyTask) Name() string             { return t.name }
+func (t *strategyTask) RunBatch(int) (int, bool) { return 0, false }
+func (t *strategyTask) Backlog() int             { return t.backlog }
+func (t *strategyTask) Selectivity() float64     { return t.sel }
+func (t *strategyTask) CostNS() float64          { return t.cost }
+
+func TestRoundRobinCycles(t *testing.T) {
+	tasks := []Task{
+		&strategyTask{name: "a", backlog: 1},
+		&strategyTask{name: "b", backlog: 1},
+		&strategyTask{name: "c", backlog: 0},
+	}
+	s := RoundRobin()()
+	got := []int{s.Next(tasks), s.Next(tasks), s.Next(tasks)}
+	want := []int{1, 0, 1} // starts after index 0, skips empty c
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin picks %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAlwaysFirstReady(t *testing.T) {
+	tasks := []Task{
+		&strategyTask{name: "a", backlog: 0},
+		&strategyTask{name: "b", backlog: 5},
+		&strategyTask{name: "c", backlog: 9},
+	}
+	s := FIFO()()
+	if idx := s.Next(tasks); idx != 1 {
+		t.Fatalf("fifo picked %d, want 1", idx)
+	}
+}
+
+func TestChainPrefersSelectiveCheapTask(t *testing.T) {
+	tasks := []Task{
+		&strategyTask{name: "passthrough", backlog: 5, sel: 1.0, cost: 1},
+		&strategyTask{name: "dropper", backlog: 5, sel: 0.1, cost: 1},
+	}
+	if idx := Chain()().Next(tasks); idx != 1 {
+		t.Fatalf("chain picked %d, want the dropper (1)", idx)
+	}
+}
+
+func TestRateBasedPrefersProductiveTask(t *testing.T) {
+	tasks := []Task{
+		&strategyTask{name: "passthrough", backlog: 5, sel: 1.0, cost: 1},
+		&strategyTask{name: "dropper", backlog: 5, sel: 0.1, cost: 1},
+	}
+	if idx := RateBased()().Next(tasks); idx != 0 {
+		t.Fatalf("rate-based picked %d, want the passthrough (0)", idx)
+	}
+}
+
+func TestHighestBacklog(t *testing.T) {
+	tasks := []Task{
+		&strategyTask{name: "a", backlog: 3},
+		&strategyTask{name: "b", backlog: 9},
+		&strategyTask{name: "c", backlog: 1},
+	}
+	if idx := HighestBacklog()().Next(tasks); idx != 1 {
+		t.Fatalf("backlog picked %d, want 1", idx)
+	}
+}
+
+func TestAllStrategiesReturnMinusOneWhenIdle(t *testing.T) {
+	tasks := []Task{&strategyTask{name: "a", backlog: 0}}
+	for _, mk := range []Factory{RoundRobin(), FIFO(), Random(1), Chain(), RateBased(), HighestBacklog()} {
+		if idx := mk().Next(tasks); idx != -1 {
+			t.Fatalf("%s returned %d on idle tasks", mk().Name(), idx)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"round-robin", "rr", "fifo", "random", "chain", "rate", "backlog"} {
+		if _, ok := ByName(n, 1); !ok {
+			t.Errorf("ByName(%q) unknown", n)
+		}
+	}
+	if _, ok := ByName("nope", 1); ok {
+		t.Error("ByName accepted unknown strategy")
+	}
+}
+
+func TestChainReducesBacklogVersusFIFOUnderBurst(t *testing.T) {
+	// A two-stage plan where stage 1 drops 90% of elements. Chain should
+	// keep (max) queue memory no worse than FIFO-on-registration-order
+	// when the drop stage is registered last.
+	run := func(mk Factory) int {
+		src := pubsub.NewSliceSource("src", chronons(5000))
+		drop := ops.NewFilter("drop", func(v any) bool { return v.(int)%10 == 0 })
+		col := pubsub.NewCollector("col", 1)
+		// boundary 1: src -> buf1 -> drop ; boundary 2: drop -> buf2 -> col
+		b1, _ := Boundary("buf1", src, drop, 0)
+		b2, _ := Boundary("buf2", drop, col, 0)
+		b1.SetProfile(0.1, 1)
+		b2.SetProfile(1.0, 1)
+		s := New(Config{Workers: 1, Strategy: mk, BatchSize: 16})
+		s.Add(NewEmitterTask(src))
+		s.Add(b2) // register the productive stage first,
+		s.Add(b1) // the dropping stage last
+		s.Start()
+		s.Wait()
+		col.Wait()
+		if col.Len() != 500 {
+			t.Fatalf("collected %d, want 500", col.Len())
+		}
+		max := 0
+		for _, st := range s.Stats() {
+			if st.MaxBacklog > max {
+				max = st.MaxBacklog
+			}
+		}
+		return max
+	}
+	chainMax := run(Chain())
+	fifoMax := run(FIFO())
+	if chainMax > fifoMax*2 {
+		t.Fatalf("chain max backlog %d much worse than fifo %d", chainMax, fifoMax)
+	}
+}

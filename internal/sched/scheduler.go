@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterises a Scheduler.
+type Config struct {
+	// Workers is the number of layer-3 threads (default 1).
+	Workers int
+	// Strategy builds each worker's layer-2 strategy (default RoundRobin).
+	Strategy Factory
+	// BatchSize is the number of work units per activation (default 64).
+	// Larger batches amortise scheduling overhead; smaller bound latency.
+	BatchSize int
+	// IdleSleep is how long a worker parks when none of its tasks is ready
+	// (default 50µs). Zero yields the processor instead.
+	IdleSleep time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Strategy == nil {
+		c.Strategy = RoundRobin()
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.IdleSleep < 0 {
+		c.IdleSleep = 0
+	} else if c.IdleSleep == 0 {
+		c.IdleSleep = 50 * time.Microsecond
+	}
+	return c
+}
+
+// Scheduler runs registered tasks on a pool of worker threads (layer 3),
+// each worker applying its own strategy instance (layer 2) over the tasks
+// assigned to it. Tasks added before Start are spread round-robin across
+// workers; AddTo pins a task to a specific worker for explicit placement.
+type Scheduler struct {
+	cfg     Config
+	mu      sync.Mutex
+	tasks   [][]*trackedTask
+	started bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	nextW   int
+}
+
+// New returns a scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	return &Scheduler{
+		cfg:   cfg,
+		tasks: make([][]*trackedTask, cfg.Workers),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Add registers a task, assigning it to the next worker round-robin.
+func (s *Scheduler) Add(t Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tasks[s.nextW] = append(s.tasks[s.nextW], &trackedTask{Task: t})
+	s.nextW = (s.nextW + 1) % s.cfg.Workers
+}
+
+// AddTo registers a task on a specific worker (layer-3 placement).
+func (s *Scheduler) AddTo(worker int, t Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tasks[worker%s.cfg.Workers] = append(s.tasks[worker%s.cfg.Workers], &trackedTask{Task: t})
+}
+
+// Start launches the workers. Tasks must not be added afterwards.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.runWorker(w)
+	}
+}
+
+func (s *Scheduler) runWorker(w int) {
+	defer s.wg.Done()
+	strategy := s.cfg.Strategy()
+	mine := s.tasks[w]
+	raw := make([]Task, len(mine))
+	for i, t := range mine {
+		raw[i] = t
+	}
+	doneCount := 0
+	done := make([]bool, len(mine))
+	for doneCount < len(mine) {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		idx := strategy.Next(raw)
+		if idx < 0 {
+			// Nothing ready: tasks may still receive input from other
+			// workers. Park briefly.
+			if s.cfg.IdleSleep > 0 {
+				time.Sleep(s.cfg.IdleSleep)
+			} else {
+				runtime.Gosched()
+			}
+			// A task can become done while idle (upstream completed and
+			// queue already empty): poll completion.
+			for i, t := range mine {
+				if !done[i] && t.Backlog() == 0 {
+					if _, fin := t.RunBatch(0); fin {
+						done[i] = true
+						doneCount++
+						t.observe(0, true)
+					}
+				}
+			}
+			continue
+		}
+		n, fin := mine[idx].RunBatch(s.cfg.BatchSize)
+		mine[idx].observe(n, fin)
+		if fin && !done[idx] {
+			done[idx] = true
+			doneCount++
+		}
+	}
+}
+
+// Wait blocks until every task has finished.
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// Stop aborts the workers without waiting for task completion.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of per-task progress, workers concatenated.
+func (s *Scheduler) Stats() []TaskStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TaskStats
+	for _, ts := range s.tasks {
+		for _, t := range ts {
+			out = append(out, t.stats())
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package sched
+
+import "math/rand"
+
+// Strategy selects, within one worker thread, which ready task runs next —
+// layer 2 of the scheduling framework. Next receives the worker's tasks
+// and returns the index of the task to run, or -1 if none has work.
+// Strategies are single-worker state machines; the scheduler creates one
+// instance per worker via a Factory.
+type Strategy interface {
+	Name() string
+	Next(tasks []Task) int
+}
+
+// Factory builds a fresh strategy instance (one per worker).
+type Factory func() Strategy
+
+// roundRobin cycles fairly through ready tasks.
+type roundRobin struct{ cur int }
+
+// RoundRobin returns the fair cyclic strategy.
+func RoundRobin() Factory { return func() Strategy { return &roundRobin{} } }
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (s *roundRobin) Next(tasks []Task) int {
+	n := len(tasks)
+	for i := 1; i <= n; i++ {
+		idx := (s.cur + i) % n
+		if tasks[idx].Backlog() > 0 {
+			s.cur = idx
+			return idx
+		}
+	}
+	return -1
+}
+
+// fifoOrder always runs the first ready task in fixed (registration)
+// order — the static-priority discipline of single-threaded engines
+// [14,15]: upstream tasks registered first are drained first.
+type fifoOrder struct{}
+
+// FIFO returns the fixed-order strategy.
+func FIFO() Factory { return func() Strategy { return fifoOrder{} } }
+
+func (fifoOrder) Name() string { return "fifo" }
+
+func (fifoOrder) Next(tasks []Task) int {
+	for i, t := range tasks {
+		if t.Backlog() > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// random picks a uniformly random ready task — the baseline of scheduling
+// comparisons.
+type random struct{ rng *rand.Rand }
+
+// Random returns the randomized strategy with a fixed seed per worker.
+func Random(seed int64) Factory {
+	return func() Strategy { return &random{rng: rand.New(rand.NewSource(seed))} }
+}
+
+func (*random) Name() string { return "random" }
+
+func (s *random) Next(tasks []Task) int {
+	ready := make([]int, 0, len(tasks))
+	for i, t := range tasks {
+		if t.Backlog() > 0 {
+			ready = append(ready, i)
+		}
+	}
+	if len(ready) == 0 {
+		return -1
+	}
+	return ready[s.rng.Intn(len(ready))]
+}
+
+// chain implements Chain scheduling [Babcock et al., 4]: run the ready
+// task with the steepest drop in expected queue memory per unit cost,
+// i.e. the greatest (1 − selectivity)/cost. Chain provably minimises total
+// queue memory for single-stream plans.
+type chain struct{}
+
+// Chain returns the memory-minimising strategy.
+func Chain() Factory { return func() Strategy { return chain{} } }
+
+func (chain) Name() string { return "chain" }
+
+func (chain) Next(tasks []Task) int {
+	best, bestPrio := -1, -1.0
+	for i, t := range tasks {
+		if t.Backlog() == 0 {
+			continue
+		}
+		prio := 1.0
+		if p, ok := t.(Profiled); ok {
+			cost := p.CostNS()
+			if cost <= 0 {
+				cost = 1
+			}
+			prio = (1 - p.Selectivity()) / cost
+		}
+		if prio > bestPrio {
+			best, bestPrio = i, prio
+		}
+	}
+	return best
+}
+
+// rateBased implements rate-based scheduling [Carney et al., 9]: run the
+// ready task with the greatest output rate per unit cost,
+// selectivity/cost — the dual of Chain, minimising result latency.
+type rateBased struct{}
+
+// RateBased returns the output-rate-maximising strategy.
+func RateBased() Factory { return func() Strategy { return rateBased{} } }
+
+func (rateBased) Name() string { return "rate" }
+
+func (rateBased) Next(tasks []Task) int {
+	best, bestPrio := -1, -1.0
+	for i, t := range tasks {
+		if t.Backlog() == 0 {
+			continue
+		}
+		prio := 1.0
+		if p, ok := t.(Profiled); ok {
+			cost := p.CostNS()
+			if cost <= 0 {
+				cost = 1
+			}
+			prio = p.Selectivity() / cost
+		}
+		if prio > bestPrio {
+			best, bestPrio = i, prio
+		}
+	}
+	return best
+}
+
+// highestBacklog runs the task with the longest queue — a latency bound
+// under bursts (no queue grows unobserved).
+type highestBacklog struct{}
+
+// HighestBacklog returns the longest-queue-first strategy.
+func HighestBacklog() Factory { return func() Strategy { return highestBacklog{} } }
+
+func (highestBacklog) Name() string { return "backlog" }
+
+func (highestBacklog) Next(tasks []Task) int {
+	best, bestB := -1, 0
+	for i, t := range tasks {
+		if b := t.Backlog(); b > bestB {
+			best, bestB = i, b
+		}
+	}
+	return best
+}
+
+// ByName resolves a strategy factory from its name; tools use it.
+func ByName(name string, seed int64) (Factory, bool) {
+	switch name {
+	case "round-robin", "rr":
+		return RoundRobin(), true
+	case "fifo":
+		return FIFO(), true
+	case "random":
+		return Random(seed), true
+	case "chain":
+		return Chain(), true
+	case "rate":
+		return RateBased(), true
+	case "backlog":
+		return HighestBacklog(), true
+	}
+	return nil, false
+}

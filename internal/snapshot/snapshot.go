@@ -1,0 +1,256 @@
+// Package snapshot implements the reference semantics of the temporal
+// operator algebra: the logical content of a stream at time t is the
+// multiset of values whose validity interval contains t, and every logical
+// operator is ordinary multiset relational algebra applied to snapshots.
+// internal/ops must commute with this evaluator (snapshot equivalence, the
+// CQL-conformance property [2,13]); the test suite uses this package as
+// its oracle on randomized inputs.
+//
+// The evaluator is deliberately direct and quadratic — clarity over speed:
+// it defines what correct means.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"pipes/internal/temporal"
+)
+
+// At returns the snapshot of elems at t: every value whose interval
+// contains t, with multiplicity.
+func At(elems []temporal.Element, t temporal.Time) []any {
+	var out []any
+	for _, e := range elems {
+		if e.Contains(t) {
+			out = append(out, e.Value)
+		}
+	}
+	return out
+}
+
+// Boundaries returns the sorted distinct Start and End timestamps over all
+// given streams — the instants at which any snapshot can change, and hence
+// the sufficient probe points for equivalence checking. For each boundary
+// b the instant b-1 is included too (to observe the state just before).
+func Boundaries(streams ...[]temporal.Element) []temporal.Time {
+	set := map[temporal.Time]bool{}
+	for _, s := range streams {
+		for _, e := range s {
+			set[e.Start] = true
+			if e.Start > temporal.MinTime {
+				set[e.Start-1] = true
+			}
+			if e.End != temporal.MaxTime {
+				set[e.End] = true
+				set[e.End-1] = true
+			}
+		}
+	}
+	out := make([]temporal.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fingerprint renders a value to a comparison key. Values that print the
+// same are considered equal — adequate for the test domains (ints,
+// strings, small structs, []any tuples).
+func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
+
+// Counts builds a multiset: fingerprint → multiplicity.
+func Counts(vals []any) map[string]int {
+	m := map[string]int{}
+	for _, v := range vals {
+		m[Fingerprint(v)]++
+	}
+	return m
+}
+
+// SameMultiset reports whether a and b contain the same values with the
+// same multiplicities.
+func SameMultiset(a, b []any) bool {
+	ca, cb := Counts(a), Counts(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for k, n := range ca {
+		if cb[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter is relational selection over a snapshot.
+func Filter(snap []any, pred func(any) bool) []any {
+	var out []any
+	for _, v := range snap {
+		if pred(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Map is relational projection/function application over a snapshot.
+func Map(snap []any, fn func(any) any) []any {
+	out := make([]any, len(snap))
+	for i, v := range snap {
+		out[i] = fn(v)
+	}
+	return out
+}
+
+// Union is multiset union (bag concatenation).
+func Union(snaps ...[]any) []any {
+	var out []any
+	for _, s := range snaps {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Join is the theta join of two snapshots.
+func Join(left, right []any, pred func(l, r any) bool, combine func(l, r any) any) []any {
+	var out []any
+	for _, l := range left {
+		for _, r := range right {
+			if pred == nil || pred(l, r) {
+				out = append(out, combine(l, r))
+			}
+		}
+	}
+	return out
+}
+
+// MJoin is the n-way equi-join of snapshots on a common key; tuples are
+// []any ordered by input index.
+func MJoin(snaps [][]any, key func(any) any) []any {
+	var out []any
+	var rec func(i int, partial []any, k any)
+	rec = func(i int, partial []any, k any) {
+		if i == len(snaps) {
+			tuple := make([]any, len(partial))
+			copy(tuple, partial)
+			out = append(out, tuple)
+			return
+		}
+		for _, v := range snaps[i] {
+			vk := key(v)
+			if i > 0 && vk != k {
+				continue
+			}
+			partial[i] = v
+			if i == 0 {
+				rec(i+1, partial, vk)
+			} else {
+				rec(i+1, partial, k)
+			}
+			partial[i] = nil
+		}
+	}
+	if len(snaps) > 0 {
+		rec(0, make([]any, len(snaps)), nil)
+	}
+	return out
+}
+
+// Distinct is duplicate elimination under the key function (identity when
+// nil): each key survives once, represented by its first occurrence.
+func Distinct(snap []any, key func(any) any) []any {
+	if key == nil {
+		key = func(v any) any { return v }
+	}
+	seen := map[string]bool{}
+	var out []any
+	for _, v := range snap {
+		k := Fingerprint(key(v))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Diff is multiset difference a ∖ b under the key function: each key keeps
+// max(0, m_a − m_b) copies.
+func Diff(a, b []any, key func(any) any) []any {
+	if key == nil {
+		key = func(v any) any { return v }
+	}
+	bCounts := map[string]int{}
+	for _, v := range b {
+		bCounts[Fingerprint(key(v))]++
+	}
+	var out []any
+	for _, v := range a {
+		k := Fingerprint(key(v))
+		if bCounts[k] > 0 {
+			bCounts[k]--
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// GroupAggregate groups a snapshot by key and folds each group with a
+// fresh aggregate, returning key-fingerprint → (key, aggregate value).
+// A nil key yields a single group under the empty fingerprint.
+func GroupAggregate(snap []any, key func(any) any, newAgg func() interface {
+	Insert(any)
+	Value() any
+}) map[string][2]any {
+	out := map[string][2]any{}
+	type accum struct {
+		key any
+		agg interface {
+			Insert(any)
+			Value() any
+		}
+	}
+	groups := map[string]*accum{}
+	for _, v := range snap {
+		var k any
+		fp := ""
+		if key != nil {
+			k = key(v)
+			fp = Fingerprint(k)
+		}
+		g := groups[fp]
+		if g == nil {
+			g = &accum{key: k, agg: newAgg()}
+			groups[fp] = g
+		}
+		g.agg.Insert(v)
+	}
+	for fp, g := range groups {
+		out[fp] = [2]any{g.key, g.agg.Value()}
+	}
+	return out
+}
+
+// Intersect is multiset intersection under the key function: each key
+// keeps min(m_a, m_b) copies, represented by a's occurrences.
+func Intersect(a, b []any, key func(any) any) []any {
+	if key == nil {
+		key = func(v any) any { return v }
+	}
+	bCounts := map[string]int{}
+	for _, v := range b {
+		bCounts[Fingerprint(key(v))]++
+	}
+	var out []any
+	for _, v := range a {
+		k := Fingerprint(key(v))
+		if bCounts[k] > 0 {
+			bCounts[k]--
+			out = append(out, v)
+		}
+	}
+	return out
+}

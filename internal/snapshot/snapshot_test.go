@@ -1,0 +1,157 @@
+package snapshot
+
+import (
+	"testing"
+
+	"pipes/internal/temporal"
+)
+
+func el(v any, s, e temporal.Time) temporal.Element { return temporal.NewElement(v, s, e) }
+
+func TestAt(t *testing.T) {
+	elems := []temporal.Element{el("a", 0, 10), el("b", 5, 15)}
+	cases := []struct {
+		t    temporal.Time
+		want []any
+	}{
+		{-1, nil},
+		{0, []any{"a"}},
+		{5, []any{"a", "b"}},
+		{9, []any{"a", "b"}},
+		{10, []any{"b"}},
+		{15, nil},
+	}
+	for _, c := range cases {
+		if got := At(elems, c.t); !SameMultiset(got, c.want) {
+			t.Errorf("At(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	b := Boundaries([]temporal.Element{el("a", 5, 10)})
+	want := map[temporal.Time]bool{4: true, 5: true, 9: true, 10: true}
+	if len(b) != len(want) {
+		t.Fatalf("Boundaries = %v", b)
+	}
+	for _, x := range b {
+		if !want[x] {
+			t.Fatalf("Boundaries = %v", b)
+		}
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i-1] >= b[i] {
+			t.Fatal("boundaries not sorted")
+		}
+	}
+}
+
+func TestBoundariesUnbounded(t *testing.T) {
+	b := Boundaries([]temporal.Element{el("a", 0, temporal.MaxTime)})
+	for _, x := range b {
+		if x == temporal.MaxTime {
+			t.Fatal("MaxTime must not be a probe point")
+		}
+	}
+}
+
+func TestSameMultiset(t *testing.T) {
+	if !SameMultiset([]any{1, 2, 2}, []any{2, 1, 2}) {
+		t.Error("permutation not equal")
+	}
+	if SameMultiset([]any{1, 2}, []any{1, 2, 2}) {
+		t.Error("different multiplicities equal")
+	}
+	if SameMultiset([]any{1}, []any{2}) {
+		t.Error("different values equal")
+	}
+	if !SameMultiset(nil, nil) {
+		t.Error("empty sets not equal")
+	}
+}
+
+func TestRelationalOps(t *testing.T) {
+	snap := []any{1, 2, 3, 4}
+	if got := Filter(snap, func(v any) bool { return v.(int) > 2 }); !SameMultiset(got, []any{3, 4}) {
+		t.Errorf("Filter = %v", got)
+	}
+	if got := Map(snap, func(v any) any { return v.(int) * 2 }); !SameMultiset(got, []any{2, 4, 6, 8}) {
+		t.Errorf("Map = %v", got)
+	}
+	if got := Union([]any{1}, []any{1, 2}); !SameMultiset(got, []any{1, 1, 2}) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestJoinSnap(t *testing.T) {
+	got := Join([]any{1, 2}, []any{2, 3},
+		func(l, r any) bool { return l == r },
+		func(l, r any) any { return [2]any{l, r} })
+	if !SameMultiset(got, []any{[2]any{2, 2}}) {
+		t.Errorf("Join = %v", got)
+	}
+}
+
+func TestMJoinSnap(t *testing.T) {
+	key := func(v any) any { return v.(int) % 2 }
+	got := MJoin([][]any{{1, 2}, {3, 4}, {5}}, key)
+	// tuples with all keys equal: (1,3,5) [all odd]; 2-4 even but no even in third.
+	if len(got) != 1 {
+		t.Fatalf("MJoin = %v", got)
+	}
+	tuple := got[0].([]any)
+	if tuple[0] != 1 || tuple[1] != 3 || tuple[2] != 5 {
+		t.Fatalf("MJoin tuple = %v", tuple)
+	}
+}
+
+func TestDistinctSnap(t *testing.T) {
+	got := Distinct([]any{1, 1, 2, 2, 2}, nil)
+	if !SameMultiset(got, []any{1, 2}) {
+		t.Errorf("Distinct = %v", got)
+	}
+}
+
+func TestDiffSnap(t *testing.T) {
+	got := Diff([]any{1, 1, 2}, []any{1, 3}, nil)
+	if !SameMultiset(got, []any{1, 2}) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := Diff(nil, []any{1}, nil); len(got) != 0 {
+		t.Errorf("Diff(empty) = %v", got)
+	}
+}
+
+type countAgg struct{ n int64 }
+
+func (c *countAgg) Insert(any) { c.n++ }
+func (c *countAgg) Value() any { return c.n }
+
+func TestGroupAggregateSnap(t *testing.T) {
+	key := func(v any) any { return v.(int) % 2 }
+	got := GroupAggregate([]any{1, 2, 3, 4, 5}, key, func() interface {
+		Insert(any)
+		Value() any
+	} {
+		return &countAgg{}
+	})
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	odd := got[Fingerprint(1)]
+	if odd[1] != int64(3) {
+		t.Fatalf("odd count = %v", odd[1])
+	}
+}
+
+func TestGroupAggregateGlobal(t *testing.T) {
+	got := GroupAggregate([]any{1, 2, 3}, nil, func() interface {
+		Insert(any)
+		Value() any
+	} {
+		return &countAgg{}
+	})
+	if len(got) != 1 || got[""][1] != int64(3) {
+		t.Fatalf("global aggregate = %v", got)
+	}
+}

@@ -1,0 +1,120 @@
+package sweeparea
+
+import (
+	"pipes/internal/temporal"
+	"pipes/internal/xds"
+)
+
+// KeyFunc extracts the (comparable) join key from a value.
+type KeyFunc func(v any) any
+
+// Hash is the equi-join SweepArea: entries are bucketed by join key, so a
+// probe touches only its own bucket. Expiration uses a min-heap on
+// interval end with lazy tombstones, keeping Reorganize amortised
+// O(removed · log n).
+type Hash struct {
+	probeKey  KeyFunc // key of the probing (opposite-input) value
+	storedKey KeyFunc // key of stored values
+	buckets   map[any]map[int64]temporal.Element
+	expiry    *xds.Heap[hashEntry]
+	seq       int64
+	size      int
+}
+
+type hashEntry struct {
+	end temporal.Time
+	seq int64
+	key any
+}
+
+// NewHash returns a hash area. storedKey extracts the key under which
+// inserted elements are indexed; probeKey extracts the lookup key from the
+// probing value. For a symmetric self-describing key use the same function
+// for both.
+func NewHash(probeKey, storedKey KeyFunc) *Hash {
+	if probeKey == nil || storedKey == nil {
+		panic("sweeparea: hash area requires key functions")
+	}
+	return &Hash{
+		probeKey:  probeKey,
+		storedKey: storedKey,
+		buckets:   map[any]map[int64]temporal.Element{},
+		expiry:    xds.NewHeap[hashEntry](func(a, b hashEntry) bool { return a.end < b.end }),
+	}
+}
+
+// Insert implements SweepArea.
+func (h *Hash) Insert(e temporal.Element) {
+	k := h.storedKey(e.Value)
+	b := h.buckets[k]
+	if b == nil {
+		b = map[int64]temporal.Element{}
+		h.buckets[k] = b
+	}
+	h.seq++
+	b[h.seq] = e
+	h.expiry.Push(hashEntry{end: e.End, seq: h.seq, key: k})
+	h.size++
+}
+
+// Probe implements SweepArea.
+func (h *Hash) Probe(probe temporal.Element, emit func(temporal.Element)) {
+	for _, s := range h.buckets[h.probeKey(probe.Value)] {
+		emit(s)
+	}
+}
+
+// Reorganize implements SweepArea.
+func (h *Hash) Reorganize(t temporal.Time) int {
+	removed := 0
+	for {
+		top, ok := h.expiry.Peek()
+		if !ok || top.end > t {
+			return removed
+		}
+		h.expiry.Pop()
+		if h.remove(top) {
+			removed++
+		}
+	}
+}
+
+// Shed implements SweepArea: pops the soonest-expiring entries.
+func (h *Hash) Shed(n int) int {
+	removed := 0
+	for removed < n {
+		top, ok := h.expiry.Pop()
+		if !ok {
+			return removed
+		}
+		if h.remove(top) {
+			removed++
+		}
+	}
+	return removed
+}
+
+func (h *Hash) remove(he hashEntry) bool {
+	b := h.buckets[he.key]
+	if b == nil {
+		return false
+	}
+	if _, present := b[he.seq]; !present {
+		return false // tombstone: already shed/purged
+	}
+	delete(b, he.seq)
+	if len(b) == 0 {
+		delete(h.buckets, he.key)
+	}
+	h.size--
+	return true
+}
+
+// Len implements SweepArea.
+func (h *Hash) Len() int { return h.size }
+
+// MemoryUsage implements SweepArea.
+func (h *Hash) MemoryUsage() int {
+	// Entries plus heap bookkeeping (heap may hold tombstoned entries).
+	return h.size*bytesPerEntry + h.expiry.Len()*24
+}

@@ -1,0 +1,134 @@
+// Package temporal defines the time model underlying the PIPES operator
+// algebra: discrete application timestamps, half-open validity intervals,
+// and stream elements that pair an arbitrary value with such an interval.
+//
+// The algebra's semantics are snapshot based: at every time instant t the
+// logical content of a stream is the multiset of values whose validity
+// interval contains t. All physical operators in internal/ops are defined
+// so that they commute with taking snapshots (snapshot equivalence), which
+// makes the physical algebra conform to CQL's abstract semantics.
+package temporal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a discrete application timestamp. The unit is chosen by the
+// application (the demo scenarios use milliseconds); the algebra only
+// relies on integer ordering and arithmetic.
+type Time int64
+
+const (
+	// MinTime is the smallest representable timestamp.
+	MinTime Time = math.MinInt64
+	// MaxTime is the largest representable timestamp. An element whose
+	// interval ends at MaxTime is valid "forever"; relations ingested into
+	// the stream algebra use such intervals until a deletion arrives.
+	MaxTime Time = math.MaxInt64
+)
+
+// Interval is a half-open validity interval [Start, End). An interval is
+// well formed iff Start < End.
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// NewInterval returns the interval [start, end).
+func NewInterval(start, end Time) Interval { return Interval{Start: start, End: end} }
+
+// Valid reports whether the interval is well formed (non-empty).
+func (iv Interval) Valid() bool { return iv.Start < iv.End }
+
+// Contains reports whether t lies inside [Start, End).
+func (iv Interval) Contains(t Time) bool { return iv.Start <= t && t < iv.End }
+
+// Overlaps reports whether the two intervals share at least one instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the intersection of the two intervals and whether it
+// is non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	out := Interval{Start: maxTime(iv.Start, other.Start), End: minTime(iv.End, other.End)}
+	return out, out.Valid()
+}
+
+// Adjacent reports whether other begins exactly where iv ends (or vice
+// versa), i.e. the union of the two would be a single interval.
+func (iv Interval) Adjacent(other Interval) bool {
+	return iv.End == other.Start || other.End == iv.Start
+}
+
+// Union returns the smallest interval covering both inputs. It is only
+// meaningful when the inputs overlap or are adjacent.
+func (iv Interval) Union(other Interval) Interval {
+	return Interval{Start: minTime(iv.Start, other.Start), End: maxTime(iv.End, other.End)}
+}
+
+// Duration returns End-Start. For well-formed intervals it is positive.
+func (iv Interval) Duration() Time { return iv.End - iv.Start }
+
+func (iv Interval) String() string {
+	switch {
+	case iv.End == MaxTime && iv.Start == MinTime:
+		return "[-inf,+inf)"
+	case iv.End == MaxTime:
+		return fmt.Sprintf("[%d,+inf)", iv.Start)
+	case iv.Start == MinTime:
+		return fmt.Sprintf("[-inf,%d)", iv.End)
+	}
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+}
+
+// Element is a stream element: an arbitrary value tagged with the validity
+// interval during which it contributes to logical snapshots. Physical
+// streams are ordered by non-decreasing Start timestamp.
+type Element struct {
+	Value any
+	Interval
+}
+
+// NewElement returns an element valid during [start, end).
+func NewElement(value any, start, end Time) Element {
+	return Element{Value: value, Interval: Interval{Start: start, End: end}}
+}
+
+// At returns a "chronon" element valid for the single instant t, i.e.
+// [t, t+1). Raw source elements enter the algebra this way before a window
+// operator extends their validity.
+func At(value any, t Time) Element { return NewElement(value, t, t+1) }
+
+func (e Element) String() string { return fmt.Sprintf("%v@%s", e.Value, e.Interval) }
+
+// WithInterval returns a copy of e restricted to iv.
+func (e Element) WithInterval(iv Interval) Element {
+	return Element{Value: e.Value, Interval: iv}
+}
+
+// OrderedByStart reports whether the slice is non-decreasing in Start,
+// the stream invariant every operator must preserve.
+func OrderedByStart(elems []Element) bool {
+	for i := 1; i < len(elems); i++ {
+		if elems[i].Start < elems[i-1].Start {
+			return false
+		}
+	}
+	return true
+}
+
+func minTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalValid(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{NewInterval(0, 1), true},
+		{NewInterval(5, 10), true},
+		{NewInterval(3, 3), false},
+		{NewInterval(4, 2), false},
+		{NewInterval(MinTime, MaxTime), true},
+	}
+	for _, c := range cases {
+		if got := c.iv.Valid(); got != c.want {
+			t.Errorf("%v.Valid() = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := NewInterval(10, 20)
+	for _, tt := range []struct {
+		t    Time
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {21, false},
+	} {
+		if got := iv.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%d) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalOverlapsAndIntersect(t *testing.T) {
+	a := NewInterval(0, 10)
+	cases := []struct {
+		b         Interval
+		overlaps  bool
+		wantInter Interval
+	}{
+		{NewInterval(5, 15), true, NewInterval(5, 10)},
+		{NewInterval(-5, 5), true, NewInterval(0, 5)},
+		{NewInterval(2, 8), true, NewInterval(2, 8)},
+		{NewInterval(10, 20), false, Interval{}},
+		{NewInterval(-10, 0), false, Interval{}},
+		{NewInterval(0, 10), true, NewInterval(0, 10)},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlaps {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.overlaps)
+		}
+		inter, ok := a.Intersect(c.b)
+		if ok != c.overlaps {
+			t.Errorf("%v.Intersect(%v) ok = %v, want %v", a, c.b, ok, c.overlaps)
+		}
+		if ok && inter != c.wantInter {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", a, c.b, inter, c.wantInter)
+		}
+	}
+}
+
+func TestIntervalOverlapSymmetry(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := NewInterval(Time(a0), Time(a0)+Time(a1&0x7fff)+1)
+		b := NewInterval(Time(b0), Time(b0)+Time(b1&0x7fff)+1)
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectIsContainedInBoth(t *testing.T) {
+	f := func(a0 int16, alen uint8, b0 int16, blen uint8) bool {
+		a := NewInterval(Time(a0), Time(a0)+Time(alen)+1)
+		b := NewInterval(Time(b0), Time(b0)+Time(blen)+1)
+		inter, ok := a.Intersect(b)
+		if !ok {
+			return !a.Overlaps(b)
+		}
+		// Every instant of the intersection lies in both inputs.
+		for t := inter.Start; t < inter.End; t++ {
+			if !a.Contains(t) || !b.Contains(t) {
+				return false
+			}
+		}
+		return a.Overlaps(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacentAndUnion(t *testing.T) {
+	a := NewInterval(0, 5)
+	b := NewInterval(5, 9)
+	if !a.Adjacent(b) || !b.Adjacent(a) {
+		t.Fatal("adjacent intervals not detected")
+	}
+	if got := a.Union(b); got != NewInterval(0, 9) {
+		t.Fatalf("Union = %v, want [0,9)", got)
+	}
+	c := NewInterval(6, 9)
+	if a.Adjacent(c) {
+		t.Fatal("non-adjacent intervals reported adjacent")
+	}
+}
+
+func TestElementHelpers(t *testing.T) {
+	e := At("x", 7)
+	if e.Start != 7 || e.End != 8 {
+		t.Fatalf("At produced %v, want x@[7,8)", e)
+	}
+	if e.Duration() != 1 {
+		t.Fatalf("chronon duration = %d, want 1", e.Duration())
+	}
+	w := e.WithInterval(NewInterval(7, 100))
+	if w.Value != "x" || w.End != 100 {
+		t.Fatalf("WithInterval produced %v", w)
+	}
+	// Original unchanged (value semantics).
+	if e.End != 8 {
+		t.Fatal("WithInterval mutated receiver")
+	}
+}
+
+func TestOrderedByStart(t *testing.T) {
+	ok := []Element{At(1, 0), At(2, 0), At(3, 5), At(4, 5), At(5, 9)}
+	if !OrderedByStart(ok) {
+		t.Fatal("ordered slice reported unordered")
+	}
+	bad := []Element{At(1, 3), At(2, 2)}
+	if OrderedByStart(bad) {
+		t.Fatal("unordered slice reported ordered")
+	}
+	if !OrderedByStart(nil) || !OrderedByStart([]Element{At(0, 0)}) {
+		t.Fatal("degenerate slices must be ordered")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{NewInterval(1, 2), "[1,2)"},
+		{NewInterval(3, MaxTime), "[3,+inf)"},
+		{NewInterval(MinTime, 4), "[-inf,4)"},
+		{NewInterval(MinTime, MaxTime), "[-inf,+inf)"},
+	}
+	for _, c := range cases {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package traffic
+
+import (
+	"testing"
+
+	"pipes/internal/cql"
+	"pipes/internal/optimizer"
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+func TestGeneratorDeterministicAndOrdered(t *testing.T) {
+	mk := func() []Reading {
+		g := NewGenerator(Config{Seed: 7, MaxReadings: 500})
+		var out []Reading
+		for {
+			r, ok := g.Next()
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+		if i > 0 && a[i].Timestamp < a[i-1].Timestamp {
+			t.Fatalf("timestamps unordered at %d", i)
+		}
+	}
+}
+
+func TestReadingFieldRanges(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1, MaxReadings: 2000})
+	hovSeen, dirSeen := false, map[string]bool{}
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Detector < 0 || r.Detector >= 100 {
+			t.Fatalf("detector %d out of range", r.Detector)
+		}
+		if r.Lane < 0 || r.Lane >= Lanes {
+			t.Fatalf("lane %d out of range", r.Lane)
+		}
+		if r.Speed < 3 {
+			t.Fatalf("speed %v below floor", r.Speed)
+		}
+		if r.Length < 3.5 || r.Length > 18.5 {
+			t.Fatalf("length %v out of range", r.Length)
+		}
+		if r.Lane == HOVLane {
+			hovSeen = true
+		}
+		dirSeen[r.Direction] = true
+	}
+	if !hovSeen {
+		t.Fatal("no HOV readings generated")
+	}
+	if !dirSeen[DirOakland] || !dirSeen[DirSanJose] {
+		t.Fatalf("directions seen: %v", dirSeen)
+	}
+}
+
+func TestHOVFasterOnAverage(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3, MaxReadings: 20000})
+	var hovSum, otherSum float64
+	var hovN, otherN int
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Lane == HOVLane {
+			hovSum += r.Speed
+			hovN++
+		} else {
+			otherSum += r.Speed
+			otherN++
+		}
+	}
+	if hovN == 0 || otherN == 0 {
+		t.Fatal("lane coverage missing")
+	}
+	if hovSum/float64(hovN) <= otherSum/float64(otherN) {
+		t.Fatal("HOV lane not faster on average")
+	}
+}
+
+func TestIncidentDepressesSectionSpeed(t *testing.T) {
+	inc := Incident{Section: 3, Direction: DirOakland, Start: 0, End: 1 << 40, SpeedFactor: 0.3}
+	g := NewGenerator(Config{Seed: 5, MaxReadings: 20000, Incidents: []Incident{inc}})
+	var in, out float64
+	var inN, outN int
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Direction != DirOakland {
+			continue
+		}
+		if r.Section(100) == 3 {
+			in += r.Speed
+			inN++
+		} else {
+			out += r.Speed
+			outN++
+		}
+	}
+	if inN == 0 || outN == 0 {
+		t.Fatal("sections not covered")
+	}
+	if in/float64(inN) >= 0.7*out/float64(outN) {
+		t.Fatalf("incident section avg %.1f not clearly below others %.1f",
+			in/float64(inN), out/float64(outN))
+	}
+}
+
+func TestSectionMapping(t *testing.T) {
+	if got := (Reading{Detector: 0}).Section(100); got != 0 {
+		t.Fatalf("Section(det 0) = %d", got)
+	}
+	if got := (Reading{Detector: 99}).Section(100); got != 9 {
+		t.Fatalf("Section(det 99) = %d", got)
+	}
+	if got := (Reading{Detector: 55}).Section(100); got != 5 {
+		t.Fatalf("Section(det 55) = %d", got)
+	}
+	// Degenerate detector counts must not divide by zero.
+	if got := (Reading{Detector: 2}).Section(5); got > 9 {
+		t.Fatalf("Section with 5 detectors = %d", got)
+	}
+}
+
+func TestTupleConversion(t *testing.T) {
+	r := Reading{Detector: 12, Lane: 4, Direction: DirOakland, Speed: 55.5, Length: 4.2}
+	tp := r.Tuple(100)
+	if tp["lane"] != 4 || tp["direction"] != DirOakland || tp["section"] != 1 {
+		t.Fatalf("tuple = %v", tp)
+	}
+}
+
+func TestAvgHOVSpeedQueryEndToEnd(t *testing.T) {
+	g := NewGenerator(Config{Seed: 11, MaxReadings: 3000})
+	cat := optimizer.NewCatalog()
+	src := g.Source("traffic")
+	cat.Register("traffic", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryAvgHOVSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+	if col.Len() == 0 {
+		t.Fatal("no HOV averages produced")
+	}
+	for _, v := range col.Values() {
+		avg, ok := v.(cql.Tuple).Get("avghov")
+		if !ok {
+			t.Fatalf("missing avghov in %v", v)
+		}
+		if f := avg.(float64); f < 3 || f > 120 {
+			t.Fatalf("implausible HOV average %v", f)
+		}
+	}
+}
+
+func TestCongestionDetectionEndToEnd(t *testing.T) {
+	// ~2.4M ms of simulated time (120k readings, 4s mean gaps over 200
+	// detector slots); incident on section 2 from t=5min to t=30min.
+	inc := Incident{
+		Section: 2, Direction: DirOakland,
+		Start: 300_000, End: 1_800_000, SpeedFactor: 0.1,
+	}
+	g := NewGenerator(Config{Seed: 13, MaxReadings: 120_000, MeanGapSec: 4,
+		Incidents:  []Incident{inc},
+		RushFactor: 0.01}) // keep background speeds high so only the incident dips
+	cat := optimizer.NewCatalog()
+	src := g.Source("traffic")
+	cat.Register("traffic", src, 1000)
+	o := optimizer.New(cat)
+	q, err := cql.Parse(QueryAvgSectionSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := o.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := pubsub.NewCollector("col", 1)
+	inst.Root.Subscribe(col, 0)
+	pubsub.Drive(src)
+	col.Wait()
+
+	events := DetectCongestion(col.Elements(), 35, 900_000) // < 35mph for >= 15min
+	found := false
+	for _, ev := range events {
+		if ev.Section == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("incident on section 2 not detected; events = %v", events)
+	}
+}
+
+func TestDetectCongestionMergesAndFilters(t *testing.T) {
+	mk := func(sec int, avg float64, s, e temporal.Time) temporal.Element {
+		return temporal.NewElement(cql.Tuple{"section": sec, "avgspeed": avg},
+			s, e)
+	}
+	spans := []temporal.Element{
+		mk(1, 20, 0, 500),    // slow
+		mk(1, 25, 500, 1100), // still slow, adjacent -> merge [0,1100)
+		mk(1, 50, 1100, 2000),
+		mk(2, 20, 0, 100), // slow but too short
+		mk(2, 60, 100, 200),
+	}
+	events := DetectCongestion(spans, 30, 1000)
+	if len(events) != 1 || events[0].Section != 1 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].Interval != temporal.NewInterval(0, 1100) {
+		t.Fatalf("merged interval = %v", events[0].Interval)
+	}
+}

@@ -1,0 +1,84 @@
+package xds
+
+// Heap is a comparator-based binary min-heap. PIPES uses heaps for
+// priority scheduling and for ordering pending results by timestamp
+// (e.g. the aggregation operator's output heap).
+type Heap[T any] struct {
+	less func(a, b T) bool
+	data []T
+}
+
+// NewHeap returns an empty heap ordered by less (a min-heap with respect
+// to the comparator: Pop returns the smallest element).
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of stored elements.
+func (h *Heap[T]) Len() int { return len(h.data) }
+
+// Items exposes the backing slice in heap order (NOT sorted). Callers must
+// treat it as read-only; it is invalidated by the next Push or Pop.
+func (h *Heap[T]) Items() []T { return h.data }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.data = append(h.data, v)
+	h.up(len(h.data) - 1)
+}
+
+// Peek returns the minimum without removing it.
+func (h *Heap[T]) Peek() (T, bool) {
+	var zero T
+	if len(h.data) == 0 {
+		return zero, false
+	}
+	return h.data[0], true
+}
+
+// Pop removes and returns the minimum element.
+func (h *Heap[T]) Pop() (T, bool) {
+	var zero T
+	n := len(h.data)
+	if n == 0 {
+		return zero, false
+	}
+	v := h.data[0]
+	h.data[0] = h.data[n-1]
+	h.data[n-1] = zero
+	h.data = h.data[:n-1]
+	if len(h.data) > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			return
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.data[l], h.data[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.data[r], h.data[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.data[i], h.data[smallest] = h.data[smallest], h.data[i]
+		i = smallest
+	}
+}

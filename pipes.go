@@ -1,0 +1,318 @@
+// Package pipes is the public infrastructure for processing and exploring
+// streams: a Go library of exchangeable building blocks — a
+// publish-subscribe query-graph framework, a temporal operator algebra
+// with CQL-conformant snapshot semantics, a SweepArea join framework, a
+// 3-layer scheduler, an adaptive memory manager with load shedding, a
+// secondary-metadata framework and a rule-based multi-query optimizer —
+// from which fully functional prototypes of a data stream management
+// system are assembled. It reproduces "PIPES — A Public Infrastructure
+// for Processing and Exploring Streams" (Krämer & Seeger, SIGMOD 2004).
+//
+// The quickest start is the DSMS facade:
+//
+//	dsms := pipes.NewDSMS(pipes.Config{})
+//	dsms.RegisterStream("traffic", src, 1000)
+//	q, _ := dsms.RegisterQuery(`SELECT AVG(speed) FROM traffic [RANGE 3600000]`)
+//	q.Subscribe(pipes.NewFuncSink("out", 1, handle, nil))
+//	dsms.Start()
+//
+// Every building block is also usable on its own; see the examples
+// directory and DESIGN.md for the component inventory.
+package pipes
+
+import (
+	"fmt"
+	"sync"
+
+	"pipes/internal/cql"
+	"pipes/internal/memory"
+	"pipes/internal/metadata"
+	"pipes/internal/optimizer"
+	"pipes/internal/pubsub"
+	"pipes/internal/sched"
+	"pipes/internal/temporal"
+)
+
+// Core re-exported types: the time model and the node taxonomy.
+type (
+	// Time is a discrete application timestamp.
+	Time = temporal.Time
+	// Interval is a half-open validity interval.
+	Interval = temporal.Interval
+	// Element is a stream element: value plus validity interval.
+	Element = temporal.Element
+	// Tuple is the record type used by CQL queries.
+	Tuple = cql.Tuple
+
+	// Source publishes elements to subscribed sinks.
+	Source = pubsub.Source
+	// Sink consumes elements from subscribed sources.
+	Sink = pubsub.Sink
+	// Pipe is an operator: both sink and source.
+	Pipe = pubsub.Pipe
+	// Graph introspects a running query graph.
+	Graph = pubsub.Graph
+	// Collector is a terminal sink storing everything it receives.
+	Collector = pubsub.Collector
+	// Counter is a terminal sink that only counts.
+	Counter = pubsub.Counter
+)
+
+// MaxTime is the "forever" timestamp.
+const MaxTime = temporal.MaxTime
+
+// Element constructors.
+var (
+	// NewElement returns an element valid during [start, end).
+	NewElement = temporal.NewElement
+	// At returns a chronon element valid for a single instant.
+	At = temporal.At
+	// NewInterval returns the interval [start, end).
+	NewInterval = temporal.NewInterval
+)
+
+// Source and sink constructors.
+var (
+	NewSliceSource = pubsub.NewSliceSource
+	NewFuncSource  = pubsub.NewFuncSource
+	NewChanSource  = pubsub.NewChanSource
+	NewCollector   = pubsub.NewCollector
+	NewFuncSink    = pubsub.NewFuncSink
+	NewCounter     = pubsub.NewCounter
+	NewBuffer      = pubsub.NewBuffer
+	NewGraph       = pubsub.NewGraph
+	// Drive runs an emitter to exhaustion synchronously.
+	Drive = pubsub.Drive
+	// Connect subscribes a chain of pipes in sequence.
+	Connect = pubsub.Connect
+)
+
+// ParseCQL parses one CQL query.
+func ParseCQL(query string) (*cql.Query, error) { return cql.Parse(query) }
+
+// PlanFromQuery builds the canonical logical plan of a parsed query (for
+// inspection, XML persistence via internal/planio, or RegisterPlan).
+var PlanFromQuery = optimizer.FromQuery
+
+// Config parameterises a DSMS prototype. The zero value is a sensible
+// single-threaded, unlimited-memory engine.
+type Config struct {
+	// Workers is the number of scheduler threads (default 1).
+	Workers int
+	// Strategy picks the layer-2 scheduling strategy (default round-robin).
+	Strategy sched.Factory
+	// BatchSize is the scheduler batch size (default 64).
+	BatchSize int
+	// MemoryBudget is the global state budget in bytes (0 = unlimited).
+	MemoryBudget int
+	// Shedding is the load-shedding strategy applied to stateful
+	// operators when over budget (default: drop soonest-expiring state).
+	Shedding memory.Strategy
+	// MonitorQueries decorates every newly created query operator with
+	// the secondary-metadata framework.
+	MonitorQueries bool
+}
+
+// DSMS is a prototype data stream management system assembled from the
+// PIPES building blocks, as in the paper's Figure 1: heterogeneous
+// sources at the bottom, query plans above them, sinks on top, and the
+// runtime components — scheduler, memory manager, query optimizer — on
+// the side, usable individually or in combination.
+type DSMS struct {
+	cfg Config
+
+	// The runtime components, exposed for direct use.
+	Catalog   *optimizer.Catalog
+	Optimizer *optimizer.Optimizer
+	Scheduler *sched.Scheduler
+	Memory    *memory.Manager
+	Graph     *pubsub.Graph
+
+	mu       sync.Mutex
+	queries  []*Query
+	monitors []*metadata.Monitored
+	started  bool
+}
+
+// Query is one registered continuous query.
+type Query struct {
+	// Text is the original CQL text.
+	Text string
+	// Instance carries the chosen plan, cost and sharing statistics.
+	Instance *optimizer.Instance
+	dsms     *DSMS
+	memSubs  []*memory.Subscription
+}
+
+// NewDSMS assembles a prototype engine.
+func NewDSMS(cfg Config) *DSMS {
+	if cfg.Shedding == nil {
+		cfg.Shedding = memory.DropState()
+	}
+	cat := optimizer.NewCatalog()
+	d := &DSMS{
+		cfg:       cfg,
+		Catalog:   cat,
+		Optimizer: optimizer.New(cat),
+		Scheduler: sched.New(sched.Config{
+			Workers:   cfg.Workers,
+			Strategy:  cfg.Strategy,
+			BatchSize: cfg.BatchSize,
+		}),
+		Memory: memory.NewManager(cfg.MemoryBudget),
+		Graph:  pubsub.NewGraph(),
+	}
+	if cfg.MonitorQueries {
+		// Decorate every operator the optimizer builds so metadata is
+		// collected inline on both the input and output side (Fig. 3).
+		d.Optimizer.SetDecorator(func(p pubsub.Pipe) pubsub.Pipe {
+			m := metadata.NewMonitored(p)
+			d.mu.Lock()
+			d.monitors = append(d.monitors, m)
+			d.mu.Unlock()
+			return m
+		})
+	}
+	return d
+}
+
+// RegisterStream adds a raw tuple stream under name with a rate estimate
+// for the cost model. If src is an active emitter it is additionally
+// scheduled when Start runs.
+func (d *DSMS) RegisterStream(name string, src pubsub.Source, rate float64) {
+	d.Catalog.Register(name, src, rate)
+	d.Graph.AddRoot(src)
+	if e, ok := src.(pubsub.Emitter); ok {
+		d.Scheduler.Add(sched.NewEmitterTask(e))
+	}
+}
+
+// RegisterQuery parses, optimises and instantiates a CQL query against
+// the running graph, sharing operators with earlier queries where
+// signatures match. Stateful new operators are subscribed to the memory
+// manager; with MonitorQueries set they are wrapped in metadata
+// decorators (retrievable via Monitors).
+func (d *DSMS) RegisterQuery(text string) (*Query, error) {
+	parsed, err := cql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := d.Optimizer.AddQuery(parsed)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Text: text, Instance: inst, dsms: d}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queries = append(d.queries, q)
+	for _, p := range inst.Created {
+		// Subscribe stateful operators (joins etc.) to the memory
+		// manager; metadata decorators delegate capabilities to their
+		// inner node, so inspect through them.
+		inner := pubsub.Pipe(p)
+		if m, ok := p.(*metadata.Monitored); ok {
+			inner = m.Inner()
+		}
+		if _, isShedder := inner.(memory.Shedder); isShedder {
+			if u, ok := p.(memory.User); ok {
+				q.memSubs = append(q.memSubs, d.Memory.Subscribe(u, d.cfg.Shedding, 1))
+			}
+		}
+	}
+	return q, nil
+}
+
+// DeregisterQuery removes a query from the engine: its plan drops its
+// references and operators no other query needs are spliced out of the
+// running graph and released from the memory manager.
+func (d *DSMS) DeregisterQuery(q *Query) error {
+	if q == nil || q.dsms != d {
+		return fmt.Errorf("pipes: query not registered with this engine")
+	}
+	d.mu.Lock()
+	for i, reg := range d.queries {
+		if reg == q {
+			d.queries = append(d.queries[:i], d.queries[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+	for _, sub := range q.memSubs {
+		d.Memory.Unsubscribe(sub)
+	}
+	q.memSubs = nil
+	q.dsms = nil // marks the query as deregistered
+	return d.Optimizer.RemoveQuery(q.Instance)
+}
+
+// RegisterPlan instantiates a pre-built logical plan (e.g. loaded from an
+// XML plan file) with the same sharing semantics as RegisterQuery.
+func (d *DSMS) RegisterPlan(plan optimizer.Plan) (*Query, error) {
+	inst, err := d.Optimizer.AddPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Text: plan.Signature(), Instance: inst, dsms: d}
+	d.mu.Lock()
+	d.queries = append(d.queries, q)
+	d.mu.Unlock()
+	return q, nil
+}
+
+// Subscribe attaches a sink to the query's result stream.
+func (q *Query) Subscribe(sink pubsub.Sink) error {
+	return q.Instance.Root.Subscribe(sink, 0)
+}
+
+// Unsubscribe detaches a sink from the query's result stream.
+func (q *Query) Unsubscribe(sink pubsub.Sink) error {
+	return q.Instance.Root.Unsubscribe(sink, 0)
+}
+
+// Queries returns the registered queries.
+func (d *DSMS) Queries() []*Query {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Query, len(d.queries))
+	copy(out, d.queries)
+	return out
+}
+
+// Monitors returns the metadata decorators created for query operators
+// (only populated with Config.MonitorQueries).
+func (d *DSMS) Monitors() []*metadata.Monitored {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*metadata.Monitored, len(d.monitors))
+	copy(out, d.monitors)
+	return out
+}
+
+// Start launches the scheduler workers driving the registered emitters.
+func (d *DSMS) Start() {
+	d.mu.Lock()
+	d.started = true
+	d.mu.Unlock()
+	d.Scheduler.Start()
+}
+
+// Wait blocks until all scheduled work has finished, then runs a final
+// memory-manager step.
+func (d *DSMS) Wait() {
+	d.Scheduler.Wait()
+	d.Memory.Step()
+}
+
+// Stop aborts the scheduler.
+func (d *DSMS) Stop() { d.Scheduler.Stop() }
+
+// Explain renders the live query graph (textual Fig. 2 stand-in).
+func (d *DSMS) Explain() string {
+	out := d.Graph.Explain()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, q := range d.queries {
+		out += fmt.Sprintf("\nquery %d: %s\n%s", i, q.Text, optimizer.Explain(q.Instance.Plan))
+	}
+	return out
+}
