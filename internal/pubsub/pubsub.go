@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pipes/internal/temporal"
 )
@@ -79,12 +80,19 @@ var ErrNotSubscribed = errors.New("pubsub: not subscribed")
 // SourceBase provides the reusable publishing half of a node: a
 // thread-safe subscriber list plus Transfer/SignalDone. Embed it in
 // sources and (via PipeBase) in operators.
+//
+// The subscriber list is copy-on-write: Subscribe/Unsubscribe build a new
+// immutable slice under the write mutex, while Transfer and SignalDone
+// read the current snapshot through an atomic pointer. Publishing is
+// therefore lock-free and never races with subscription changes — the
+// property that lets multiple scheduler workers drive disjoint parts of
+// one query graph concurrently (see CONCURRENCY.md).
 type SourceBase struct {
 	name string
 
-	mu   sync.RWMutex
-	subs []Subscription
-	done bool
+	mu   sync.Mutex                    // serialises subscription writes
+	subs atomic.Pointer[[]Subscription] // immutable snapshot read by Transfer
+	done atomic.Bool
 }
 
 // NewSourceBase returns a SourceBase with the given display name.
@@ -96,6 +104,14 @@ func (s *SourceBase) Name() string { return s.name }
 // SetName replaces the display name (used by decorators).
 func (s *SourceBase) SetName(name string) { s.name = name }
 
+// loadSubs returns the current immutable subscription snapshot.
+func (s *SourceBase) loadSubs() []Subscription {
+	if p := s.subs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Subscribe implements Source.
 func (s *SourceBase) Subscribe(sink Sink, input int) error {
 	if sink == nil {
@@ -103,15 +119,19 @@ func (s *SourceBase) Subscribe(sink Sink, input int) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.done {
+	if s.done.Load() {
 		return ErrDone
 	}
-	for _, sub := range s.subs {
+	cur := s.loadSubs()
+	for _, sub := range cur {
 		if sub.Sink == sink && sub.Input == input {
 			return fmt.Errorf("pubsub: %s already subscribed to %s input %d", sink.Name(), s.name, input)
 		}
 	}
-	s.subs = append(s.subs, Subscription{Sink: sink, Input: input})
+	next := make([]Subscription, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = Subscription{Sink: sink, Input: input}
+	s.subs.Store(&next)
 	return nil
 }
 
@@ -119,9 +139,13 @@ func (s *SourceBase) Subscribe(sink Sink, input int) error {
 func (s *SourceBase) Unsubscribe(sink Sink, input int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, sub := range s.subs {
+	cur := s.loadSubs()
+	for i, sub := range cur {
 		if sub.Sink == sink && sub.Input == input {
-			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			next := make([]Subscription, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			s.subs.Store(&next)
 			return nil
 		}
 	}
@@ -130,47 +154,35 @@ func (s *SourceBase) Unsubscribe(sink Sink, input int) error {
 
 // Subscriptions implements Source.
 func (s *SourceBase) Subscriptions() []Subscription {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Subscription, len(s.subs))
-	copy(out, s.subs)
+	cur := s.loadSubs()
+	out := make([]Subscription, len(cur))
+	copy(out, cur)
 	return out
 }
 
 // Transfer publishes e synchronously to every subscribed sink. This direct
 // hand-off — a plain method call into the consumer — is what replaces
-// inter-operator queues.
+// inter-operator queues. Transfer is lock-free; callers must serialise
+// their own Transfer/SignalDone sequence (operators do so via ProcMu, the
+// scheduler via single-owner task activation).
 func (s *SourceBase) Transfer(e temporal.Element) {
-	s.mu.RLock()
-	subs := s.subs
-	s.mu.RUnlock()
-	for _, sub := range subs {
+	for _, sub := range s.loadSubs() {
 		sub.Sink.Process(e, sub.Input)
 	}
 }
 
 // SignalDone propagates end-of-stream to all subscribers exactly once.
 func (s *SourceBase) SignalDone() {
-	s.mu.Lock()
-	if s.done {
-		s.mu.Unlock()
+	if !s.done.CompareAndSwap(false, true) {
 		return
 	}
-	s.done = true
-	subs := make([]Subscription, len(s.subs))
-	copy(subs, s.subs)
-	s.mu.Unlock()
-	for _, sub := range subs {
+	for _, sub := range s.loadSubs() {
 		sub.Sink.Done(sub.Input)
 	}
 }
 
 // IsDone reports whether SignalDone has been called.
-func (s *SourceBase) IsDone() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.done
-}
+func (s *SourceBase) IsDone() bool { return s.done.Load() }
 
 // PipeBase provides the reusable consuming half of an operator on top of
 // SourceBase: a processing mutex serialising Process/Done across
