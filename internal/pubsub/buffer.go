@@ -21,6 +21,11 @@ type Buffer struct {
 	mu           sync.Mutex
 	q            xds.Queue[temporal.Element]
 	upstreamDone bool
+	// draining marks an in-progress Drain: a dequeued element may still be
+	// in flight downstream even though the queue reads empty, so Done must
+	// leave end-of-stream propagation to the drainer (otherwise a sink
+	// could observe done before the final element).
+	draining bool
 }
 
 // NewBuffer returns an unbounded buffer.
@@ -36,13 +41,14 @@ func (b *Buffer) Process(e temporal.Element, _ int) {
 }
 
 // Done implements Sink. Completion propagates immediately if the buffer is
-// empty, otherwise on the Drain call that empties it.
+// empty and no drain is in flight, otherwise on the Drain call that
+// empties it.
 func (b *Buffer) Done(_ int) {
 	b.mu.Lock()
 	b.upstreamDone = true
-	empty := b.q.Len() == 0
+	fire := b.q.Len() == 0 && !b.draining
 	b.mu.Unlock()
-	if empty {
+	if fire {
 		b.SignalDone()
 	}
 }
@@ -50,24 +56,24 @@ func (b *Buffer) Done(_ int) {
 // Drain dequeues and publishes up to max elements (all buffered elements
 // if max <= 0) and returns how many were transferred. If the upstream has
 // signalled done and the buffer empties, done is propagated downstream.
+// At most one goroutine may drain at a time (the scheduler guarantees this
+// via single-owner task activation); Process and Done may be called
+// concurrently with Drain.
 func (b *Buffer) Drain(max int) int {
 	n := 0
+	b.mu.Lock()
+	b.draining = true
 	for max <= 0 || n < max {
-		b.mu.Lock()
 		e, ok := b.q.Dequeue()
 		if !ok {
-			done := b.upstreamDone
-			b.mu.Unlock()
-			if done {
-				b.SignalDone()
-			}
-			return n
+			break
 		}
 		b.mu.Unlock()
 		b.Transfer(e)
 		n++
+		b.mu.Lock()
 	}
-	b.mu.Lock()
+	b.draining = false
 	finished := b.upstreamDone && b.q.Len() == 0
 	b.mu.Unlock()
 	if finished {

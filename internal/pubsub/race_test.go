@@ -90,3 +90,45 @@ func TestSignalDoneRacesTransferWithoutLoss(t *testing.T) {
 		}
 	}
 }
+
+func TestBufferDoneNeverOvertakesDrainedElements(t *testing.T) {
+	// The drain/done ordering regression: done arrives while the drainer
+	// holds the last element outside the buffer lock. The downstream sink
+	// must have received every element before its Done fires.
+	for trial := 0; trial < 200; trial++ {
+		buf := NewBuffer("b")
+		const n = 64
+		var received atomic.Int64
+		var receivedAtDone int64
+		done := make(chan struct{})
+		sink := NewFuncSink("sink", 1, func(temporal.Element, int) {
+			received.Add(1)
+		}, func() {
+			receivedAtDone = received.Load()
+			close(done)
+		})
+		if err := buf.Subscribe(sink, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			buf.Process(temporal.At(i, temporal.Time(i)), 0)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // the drainer (a scheduler worker)
+			defer wg.Done()
+			for buf.Drain(7) > 0 || !buf.UpstreamDone() {
+			}
+			buf.Drain(0)
+		}()
+		go func() { // upstream end-of-stream racing the drain
+			defer wg.Done()
+			buf.Done(0)
+		}()
+		wg.Wait()
+		<-done
+		if receivedAtDone != n {
+			t.Fatalf("trial %d: done fired after %d of %d elements", trial, receivedAtDone, n)
+		}
+	}
+}
