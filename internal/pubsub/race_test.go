@@ -132,3 +132,36 @@ func TestBufferDoneNeverOvertakesDrainedElements(t *testing.T) {
 		}
 	}
 }
+
+func TestSliceSourcePolledWhileEmitting(t *testing.T) {
+	src := NewSliceSource("src", chronons(make([]int, 500)...))
+	ctr := NewCounter("ctr", 1)
+	if err := src.Subscribe(ctr, 0); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // a monitor polling progress concurrently with emission
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if r := src.Remaining(); r < 0 || r > 500 {
+					panic("Remaining out of range")
+				}
+			}
+		}
+	}()
+	Drive(src)
+	close(stop)
+	wg.Wait()
+	if ctr.Count() != 500 {
+		t.Fatalf("emitted %d, want 500", ctr.Count())
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", src.Remaining())
+	}
+}

@@ -2,6 +2,7 @@ package pubsub
 
 import (
 	"context"
+	"sync/atomic"
 
 	"pipes/internal/temporal"
 )
@@ -28,7 +29,7 @@ func Drive(e Emitter) {
 type SliceSource struct {
 	SourceBase
 	elems []temporal.Element
-	pos   int
+	pos   atomic.Int64 // atomic so Remaining can be polled during a run
 }
 
 // NewSliceSource returns a source emitting elems in order.
@@ -36,20 +37,21 @@ func NewSliceSource(name string, elems []temporal.Element) *SliceSource {
 	return &SliceSource{SourceBase: NewSourceBase(name), elems: elems}
 }
 
-// EmitNext implements Emitter.
+// EmitNext implements Emitter. At most one goroutine may emit at a time
+// (the scheduler guarantees this via single-owner task activation).
 func (s *SliceSource) EmitNext() bool {
-	if s.pos >= len(s.elems) {
+	p := int(s.pos.Load())
+	if p >= len(s.elems) {
 		s.SignalDone()
 		return false
 	}
-	e := s.elems[s.pos]
-	s.pos++
-	s.Transfer(e)
+	s.pos.Store(int64(p + 1))
+	s.Transfer(s.elems[p])
 	return true
 }
 
 // Remaining returns the number of unpublished elements.
-func (s *SliceSource) Remaining() int { return len(s.elems) - s.pos }
+func (s *SliceSource) Remaining() int { return len(s.elems) - int(s.pos.Load()) }
 
 // FuncSource adapts a generator function to a source. The function returns
 // the next element and false when exhausted.
