@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,24 +71,26 @@ func ShrinkWindow(factor float64) Strategy {
 // in budget accounting. Useful for monitoring-only subscriptions.
 func NoShedding() Strategy { return func(User, int) int { return 0 } }
 
-// Subscription is one managed operator.
+// Subscription is one managed operator. Its fields are atomics because
+// the manager's Enforce loop, Redistribute and external readers (monitor,
+// tests) run on different goroutines.
 type Subscription struct {
 	user     User
 	strategy Strategy
 	weight   float64
-	limit    int
-	shedB    int64
-	shedEv   int64
+	limit    atomic.Int64
+	shedB    atomic.Int64
+	shedEv   atomic.Int64
 }
 
 // Limit returns the currently assigned byte budget.
-func (s *Subscription) Limit() int { return s.limit }
+func (s *Subscription) Limit() int { return int(s.limit.Load()) }
 
 // ShedBytesTotal returns the total bytes this subscription has shed.
-func (s *Subscription) ShedBytesTotal() int64 { return s.shedB }
+func (s *Subscription) ShedBytesTotal() int64 { return s.shedB.Load() }
 
 // ShedEvents returns how often shedding was triggered.
-func (s *Subscription) ShedEvents() int64 { return s.shedEv }
+func (s *Subscription) ShedEvents() int64 { return s.shedEv.Load() }
 
 // Manager owns the global budget.
 type Manager struct {
@@ -150,7 +153,7 @@ func (m *Manager) redistributeLocked() {
 	}
 	if m.total <= 0 {
 		for _, s := range m.subs {
-			s.limit = int(^uint(0) >> 1) // unlimited
+			s.limit.Store(int64(int(^uint(0) >> 1))) // unlimited
 		}
 		return
 	}
@@ -171,19 +174,19 @@ func (m *Manager) redistributeLocked() {
 			if keep > base {
 				keep = base
 			}
-			s.limit = keep
+			s.limit.Store(int64(keep))
 			surplus += base - keep
 		} else {
-			s.limit = base
+			s.limit.Store(int64(base))
 			needy = append(needy, s)
 			deficit += use - base
 		}
 	}
 	if surplus > 0 && deficit > 0 {
 		for _, s := range needy {
-			need := s.user.MemoryUsage() - s.limit
+			need := s.user.MemoryUsage() - s.Limit()
 			grant := int(float64(surplus) * float64(need) / float64(deficit))
-			s.limit += grant
+			s.limit.Add(int64(grant))
 		}
 	}
 }
@@ -198,14 +201,13 @@ func (m *Manager) Enforce() int {
 	total := 0
 	for _, s := range subs {
 		use := s.user.MemoryUsage()
-		if use <= s.limit {
+		limit := s.Limit()
+		if use <= limit {
 			continue
 		}
-		freed := s.strategy(s.user, use-s.limit)
-		m.mu.Lock()
-		s.shedB += int64(freed)
-		s.shedEv++
-		m.mu.Unlock()
+		freed := s.strategy(s.user, use-limit)
+		s.shedB.Add(int64(freed))
+		s.shedEv.Add(1)
 		total += freed
 	}
 	return total
@@ -268,7 +270,7 @@ func (m *Manager) Report() string {
 	out := ""
 	for _, s := range subs {
 		out += fmt.Sprintf("%-20s usage=%-10d limit=%-10d shed=%d (%d events)\n",
-			s.user.Name(), s.user.MemoryUsage(), s.limit, s.shedB, s.shedEv)
+			s.user.Name(), s.user.MemoryUsage(), s.Limit(), s.ShedBytesTotal(), s.ShedEvents())
 	}
 	return out
 }

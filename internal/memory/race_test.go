@@ -1,0 +1,107 @@
+package memory
+
+// Regression test for the subscription-field atomics: the manager's
+// periodic Step (redistribute + enforce) runs on a runtime goroutine
+// while monitors read Limit/ShedBytesTotal/ShedEvents and operators grow
+// and shrink — all of that must be race-free.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// racingUser is a shedder whose footprint is driven from another
+// goroutine.
+type racingUser struct {
+	name string
+	use  atomic.Int64
+}
+
+func (u *racingUser) Name() string     { return u.name }
+func (u *racingUser) MemoryUsage() int { return int(u.use.Load()) }
+
+func (u *racingUser) ShedBytes(n int) int {
+	for {
+		cur := u.use.Load()
+		drop := int64(n)
+		if drop > cur {
+			drop = cur
+		}
+		if u.use.CompareAndSwap(cur, cur-drop) {
+			return int(drop)
+		}
+	}
+}
+
+func TestManagerStepRacesReadersAndGrowth(t *testing.T) {
+	m := NewManager(10_000)
+	users := make([]*racingUser, 4)
+	subs := make([]*Subscription, 4)
+	for i := range users {
+		users[i] = &racingUser{name: string(rune('a' + i))}
+		subs[i] = m.Subscribe(users[i], DropState(), 1)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Operator goroutines grow their state.
+	for _, u := range users {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					u.use.Add(128)
+				}
+			}
+		}()
+	}
+	// A monitor polls the public getters and the report.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range subs {
+					if s.Limit() < 0 || s.ShedBytesTotal() < 0 || s.ShedEvents() < 0 {
+						panic("negative subscription stat")
+					}
+				}
+				_ = m.Report()
+				_ = m.TotalUsage()
+			}
+		}
+	}()
+	// The runtime loop. Growth here is deterministic so enforcement
+	// certainly triggers even if the racing growers are starved.
+	for i := 0; i < 200; i++ {
+		for _, u := range users {
+			u.use.Add(256)
+		}
+		m.Step()
+		if i == 100 {
+			m.SetBudget(5_000)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if m.Budget() != 5_000 {
+		t.Fatalf("budget = %d, want 5000", m.Budget())
+	}
+	var shed int64
+	for _, s := range subs {
+		shed += s.ShedBytesTotal()
+	}
+	if shed == 0 {
+		t.Fatal("growth outran the budget yet nothing was shed")
+	}
+}
