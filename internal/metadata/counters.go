@@ -1,0 +1,76 @@
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is a small registry of named monotonic counters — the
+// secondary-metadata surface for runtime components that are not query
+// graph nodes (the scheduler's steal/contention counters, for example).
+// Counter handles are *atomic.Int64, so the hot path pays one atomic add;
+// registration and snapshotting take a mutex.
+type Counters struct {
+	mu   sync.RWMutex
+	vals map[string]*atomic.Int64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters { return &Counters{vals: map[string]*atomic.Int64{}} }
+
+// Counter returns the handle registered under name, creating it at zero on
+// first use. The handle is stable: callers cache it and Add directly.
+func (c *Counters) Counter(name string) *atomic.Int64 {
+	c.mu.RLock()
+	v := c.vals[name]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v = c.vals[name]; v == nil {
+		v = new(atomic.Int64)
+		c.vals[name] = v
+	}
+	return v
+}
+
+// Get returns the current value of name (0 if never registered).
+func (c *Counters) Get(name string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if v := c.vals[name]; v != nil {
+		return v.Load()
+	}
+	return 0
+}
+
+// Snapshot returns every registered counter's current value.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// Report renders the counters sorted by name, one per line (for
+// cmd/pipesmon and test output).
+func (c *Counters) Report() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, k := range names {
+		out += fmt.Sprintf("%-24s %d\n", k, snap[k])
+	}
+	return out
+}

@@ -21,6 +21,7 @@ package sched
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"pipes/internal/pubsub"
 )
@@ -50,7 +51,9 @@ type Profiled interface {
 // EmitterTask drives an active source one element per work unit.
 type EmitterTask struct {
 	emitter pubsub.Emitter
-	done    bool
+	// done is atomic because Backlog is consulted lock-free by other
+	// workers probing for stealable work, concurrently with RunBatch.
+	done atomic.Bool
 }
 
 // NewEmitterTask wraps an emitter.
@@ -61,13 +64,13 @@ func (t *EmitterTask) Name() string { return t.emitter.Name() }
 
 // RunBatch implements Task.
 func (t *EmitterTask) RunBatch(max int) (int, bool) {
-	if t.done {
+	if t.done.Load() {
 		return 0, true
 	}
 	n := 0
 	for n < max {
 		if !t.emitter.EmitNext() {
-			t.done = true
+			t.done.Store(true)
 			return n, true
 		}
 		n++
@@ -78,7 +81,7 @@ func (t *EmitterTask) RunBatch(max int) (int, bool) {
 // Backlog implements Task: emitters always have (potential) work until
 // exhausted.
 func (t *EmitterTask) Backlog() int {
-	if t.done {
+	if t.done.Load() {
 		return 0
 	}
 	return 1
@@ -152,30 +155,53 @@ type TaskStats struct {
 	Name       string
 	Processed  int64
 	MaxBacklog int
+	Stolen     int64 // batches run by a worker that does not own the task
 	Done       bool
 }
 
-// trackedTask decorates a task with stats, guarded by the owning worker.
+// trackedTask decorates a task with an activation lock and stats. The
+// activation lock (running) guarantees at most one worker executes the
+// task at any moment — the single-owner rule that makes work stealing and
+// idle-sweep polling race-free without any locking inside tasks.
 type trackedTask struct {
 	Task
+	running atomic.Bool // activation lock
+	done    atomic.Bool
+
 	mu         sync.Mutex
 	processed  int64
 	maxBacklog int
-	done       bool
+	stolen     int64
 }
 
-func (t *trackedTask) observe(n int, done bool) {
+// tryAcquire takes the activation lock; it fails if another worker holds
+// the task.
+func (t *trackedTask) tryAcquire() bool { return t.running.CompareAndSwap(false, true) }
+
+// release returns the activation lock.
+func (t *trackedTask) release() { t.running.Store(false) }
+
+// isDone reports whether the task has finished for good.
+func (t *trackedTask) isDone() bool { return t.done.Load() }
+
+// markDone records completion exactly once and reports whether this call
+// was the transition.
+func (t *trackedTask) markDone() bool { return t.done.CompareAndSwap(false, true) }
+
+func (t *trackedTask) observe(n int, stolen bool) {
 	t.mu.Lock()
 	t.processed += int64(n)
 	if b := t.Backlog(); b > t.maxBacklog {
 		t.maxBacklog = b
 	}
-	t.done = done
+	if stolen {
+		t.stolen++
+	}
 	t.mu.Unlock()
 }
 
 func (t *trackedTask) stats() TaskStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return TaskStats{Name: t.Name(), Processed: t.processed, MaxBacklog: t.maxBacklog, Done: t.done}
+	return TaskStats{Name: t.Name(), Processed: t.processed, MaxBacklog: t.maxBacklog, Stolen: t.stolen, Done: t.done.Load()}
 }

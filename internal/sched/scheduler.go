@@ -3,7 +3,10 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"pipes/internal/metadata"
 )
 
 // Config parameterises a Scheduler.
@@ -18,6 +21,10 @@ type Config struct {
 	// IdleSleep is how long a worker parks when none of its tasks is ready
 	// (default 50µs). Zero yields the processor instead.
 	IdleSleep time.Duration
+	// DisableStealing turns off work stealing: idle workers then park
+	// instead of running ready tasks owned by other workers. Stealing is
+	// on by default; single-owner activation locks keep it race-free.
+	DisableStealing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -42,39 +49,70 @@ func (c Config) withDefaults() Config {
 // each worker applying its own strategy instance (layer 2) over the tasks
 // assigned to it. Tasks added before Start are spread round-robin across
 // workers; AddTo pins a task to a specific worker for explicit placement.
+//
+// Concurrency model: every task carries an activation lock, so at most one
+// worker executes a given task at any moment — operators activated by a
+// task are therefore driven by a single thread at a time, and the direct
+// publish-subscribe hand-off inside a virtual node never runs concurrently
+// with itself. Idle workers steal batches from other workers' ready tasks
+// (unless DisableStealing is set), which keeps pinned placements from
+// serialising the whole graph. Contention is observable via Counters.
 type Scheduler struct {
-	cfg     Config
-	mu      sync.Mutex
-	tasks   [][]*trackedTask
-	started bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	nextW   int
+	cfg      Config
+	mu       sync.Mutex
+	tasks    [][]*trackedTask
+	started  bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	nextW    int
+	total    atomic.Int64 // registered tasks
+	finished atomic.Int64 // tasks that reported done
+
+	counters  *metadata.Counters
+	steals    *atomic.Int64 // batches run on tasks owned by another worker
+	stealMiss *atomic.Int64 // idle scans that found nothing to steal
+	conflicts *atomic.Int64 // activation-lock acquisition failures
 }
 
 // New returns a scheduler with the given configuration.
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
+	ctr := metadata.NewCounters()
 	return &Scheduler{
-		cfg:   cfg,
-		tasks: make([][]*trackedTask, cfg.Workers),
-		stop:  make(chan struct{}),
+		cfg:       cfg,
+		tasks:     make([][]*trackedTask, cfg.Workers),
+		stop:      make(chan struct{}),
+		counters:  ctr,
+		steals:    ctr.Counter("sched.steals"),
+		stealMiss: ctr.Counter("sched.steal_misses"),
+		conflicts: ctr.Counter("sched.lock_conflicts"),
 	}
 }
 
 // Add registers a task, assigning it to the next worker round-robin.
+// Tasks must be registered before Start; Add panics afterwards (the worker
+// task lists are immutable while workers run).
 func (s *Scheduler) Add(t Task) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.started {
+		panic("sched: Add after Start (register all tasks before starting the workers)")
+	}
 	s.tasks[s.nextW] = append(s.tasks[s.nextW], &trackedTask{Task: t})
 	s.nextW = (s.nextW + 1) % s.cfg.Workers
+	s.total.Add(1)
 }
 
-// AddTo registers a task on a specific worker (layer-3 placement).
+// AddTo registers a task on a specific worker (layer-3 placement). Like
+// Add, it panics after Start.
 func (s *Scheduler) AddTo(worker int, t Task) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.started {
+		panic("sched: AddTo after Start (register all tasks before starting the workers)")
+	}
 	s.tasks[worker%s.cfg.Workers] = append(s.tasks[worker%s.cfg.Workers], &trackedTask{Task: t})
+	s.total.Add(1)
 }
 
 // Start launches the workers. Tasks must not be added afterwards.
@@ -92,51 +130,97 @@ func (s *Scheduler) Start() {
 	}
 }
 
+// runTask runs one batch of t if its activation lock is free. It returns
+// whether the batch ran and, if so, how much progress it made.
+func (s *Scheduler) runTask(t *trackedTask, batch int, stolen bool) (ran bool, n int, fin bool) {
+	if t.isDone() {
+		return false, 0, false
+	}
+	if !t.tryAcquire() {
+		s.conflicts.Add(1)
+		return false, 0, false
+	}
+	defer t.release()
+	if t.isDone() {
+		return false, 0, false
+	}
+	n, fin = t.RunBatch(batch)
+	t.observe(n, stolen)
+	if fin && t.markDone() {
+		s.finished.Add(1)
+	}
+	return true, n, fin
+}
+
 func (s *Scheduler) runWorker(w int) {
 	defer s.wg.Done()
 	strategy := s.cfg.Strategy()
+	// Task lists are sealed at Start (Add panics afterwards), so reading
+	// them without the mutex is safe.
 	mine := s.tasks[w]
 	raw := make([]Task, len(mine))
 	for i, t := range mine {
 		raw[i] = t
 	}
-	doneCount := 0
-	done := make([]bool, len(mine))
-	for doneCount < len(mine) {
+	for {
 		select {
 		case <-s.stop:
 			return
 		default:
 		}
-		idx := strategy.Next(raw)
-		if idx < 0 {
-			// Nothing ready: tasks may still receive input from other
-			// workers. Park briefly.
-			if s.cfg.IdleSleep > 0 {
-				time.Sleep(s.cfg.IdleSleep)
-			} else {
-				runtime.Gosched()
-			}
-			// A task can become done while idle (upstream completed and
-			// queue already empty): poll completion.
-			for i, t := range mine {
-				if !done[i] && t.Backlog() == 0 {
-					if _, fin := t.RunBatch(0); fin {
-						done[i] = true
-						doneCount++
-						t.observe(0, true)
-					}
+		if s.finished.Load() >= s.total.Load() {
+			return // every task of every worker is done
+		}
+		if len(raw) > 0 {
+			if idx := strategy.Next(raw); idx >= 0 {
+				if ran, _, _ := s.runTask(mine[idx], s.cfg.BatchSize, false); ran {
+					continue
 				}
+				// Lost the task to a stealing worker; fall through.
 			}
+		}
+		// Nothing ready locally. Sweep own tasks once: a task whose
+		// upstream completed while its backlog reads 0 still needs a final
+		// batch to detect completion and propagate done.
+		progressed := false
+		for _, t := range mine {
+			if ran, n, fin := s.runTask(t, s.cfg.BatchSize, false); ran && (n > 0 || fin) {
+				progressed = true
+			}
+		}
+		if !progressed && !s.cfg.DisableStealing && len(s.tasks) > 1 {
+			if s.trySteal(w) {
+				continue
+			}
+			s.stealMiss.Add(1)
+		}
+		if progressed {
 			continue
 		}
-		n, fin := mine[idx].RunBatch(s.cfg.BatchSize)
-		mine[idx].observe(n, fin)
-		if fin && !done[idx] {
-			done[idx] = true
-			doneCount++
+		if s.cfg.IdleSleep > 0 {
+			time.Sleep(s.cfg.IdleSleep)
+		} else {
+			runtime.Gosched()
 		}
 	}
+}
+
+// trySteal scans the other workers' tasks for ready work and runs one
+// batch of the first task it can acquire. It reports whether a batch ran.
+func (s *Scheduler) trySteal(w int) bool {
+	workers := len(s.tasks)
+	for off := 1; off < workers; off++ {
+		for _, t := range s.tasks[(w+off)%workers] {
+			if t.isDone() || t.Backlog() == 0 {
+				continue
+			}
+			if ran, _, _ := s.runTask(t, s.cfg.BatchSize, true); ran {
+				s.steals.Add(1)
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Wait blocks until every task has finished.
@@ -165,4 +249,30 @@ func (s *Scheduler) Stats() []TaskStats {
 		}
 	}
 	return out
+}
+
+// Counters exposes the scheduler's contention counters through the
+// secondary-metadata framework: sched.steals, sched.steal_misses and
+// sched.lock_conflicts.
+func (s *Scheduler) Counters() *metadata.Counters { return s.counters }
+
+// Contention is an aggregate snapshot of the scheduler's synchronization
+// counters.
+type Contention struct {
+	// Steals counts batches an idle worker ran on another worker's task.
+	Steals int64
+	// StealMisses counts idle scans that found no stealable work.
+	StealMisses int64
+	// LockConflicts counts failed task activation-lock acquisitions
+	// (two workers picking the same task at the same moment).
+	LockConflicts int64
+}
+
+// Contention returns the current contention counter values.
+func (s *Scheduler) Contention() Contention {
+	return Contention{
+		Steals:        s.steals.Load(),
+		StealMisses:   s.stealMiss.Load(),
+		LockConflicts: s.conflicts.Load(),
+	}
 }

@@ -1,0 +1,190 @@
+package sched
+
+// Scheduler-level properties: liveness (every registered task eventually
+// runs to completion under every strategy and worker count), clean
+// shutdown while workers are busy, the sealed-registration contract, and
+// work stealing with its contention counters.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+func TestEveryTaskEventuallyRuns(t *testing.T) {
+	strategies := []struct {
+		name string
+		mk   Factory
+	}{
+		{"round-robin", RoundRobin()},
+		{"fifo", FIFO()},
+		{"random", Random(42)},
+		{"chain", Chain()},
+		{"rate", RateBased()},
+		{"backlog", HighestBacklog()},
+	}
+	for _, st := range strategies {
+		for _, workers := range []int{1, 2, 8} {
+			const chains = 10
+			cols := make([]*pubsub.Collector, chains)
+			s := New(Config{Workers: workers, Strategy: st.mk, BatchSize: 8})
+			for i := 0; i < chains; i++ {
+				emit, buf, col := buildChain(200)
+				cols[i] = col
+				s.Add(emit)
+				s.Add(buf)
+			}
+			s.Start()
+			s.Wait()
+			for i, col := range cols {
+				col.Wait()
+				if col.Len() != 100 {
+					t.Fatalf("%s workers=%d: chain %d collected %d, want 100", st.name, workers, i, col.Len())
+				}
+			}
+			for _, stat := range s.Stats() {
+				if !stat.Done {
+					t.Fatalf("%s workers=%d: task %s never finished", st.name, workers, stat.Name)
+				}
+				if stat.Processed == 0 {
+					t.Fatalf("%s workers=%d: task %s finished without running", st.name, workers, stat.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestShutdownWhileBusy(t *testing.T) {
+	// Several never-ending emitters keep all workers busy; Stop must
+	// still terminate promptly and leave the counters consistent.
+	for _, workers := range []int{1, 2, 8} {
+		s := New(Config{Workers: workers})
+		var emitted atomic.Int64
+		for i := 0; i < workers*2; i++ {
+			src := pubsub.NewFuncSource("inf", func() (temporal.Element, bool) {
+				n := emitted.Add(1)
+				return temporal.At(int(n), temporal.Time(n)), true
+			})
+			src.Subscribe(pubsub.NewCounter("ctr", 1), 0)
+			s.Add(NewEmitterTask(src))
+		}
+		s.Start()
+		for emitted.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		stopped := make(chan struct{})
+		go func() { s.Stop(); close(stopped) }()
+		select {
+		case <-stopped:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("workers=%d: Stop did not terminate busy workers", workers)
+		}
+	}
+}
+
+func TestAddAfterStartPanics(t *testing.T) {
+	for _, add := range []struct {
+		name string
+		fn   func(s *Scheduler, task Task)
+	}{
+		{"Add", func(s *Scheduler, task Task) { s.Add(task) }},
+		{"AddTo", func(s *Scheduler, task Task) { s.AddTo(0, task) }},
+	} {
+		t.Run(add.name, func(t *testing.T) {
+			emit, buf, _ := buildChain(10)
+			s := New(Config{Workers: 1})
+			s.Add(emit)
+			s.Add(buf)
+			s.Start()
+			defer s.Wait()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s after Start did not panic", add.name)
+				}
+			}()
+			late, _, _ := buildChain(10)
+			add.fn(s, late)
+		})
+	}
+}
+
+// blockerTask holds its worker hostage until released, then finishes.
+type blockerTask struct {
+	release chan struct{}
+	done    atomic.Bool
+}
+
+func (b *blockerTask) Name() string { return "blocker" }
+
+func (b *blockerTask) RunBatch(int) (int, bool) {
+	if b.done.Load() {
+		return 0, true
+	}
+	<-b.release
+	b.done.Store(true)
+	return 1, true
+}
+
+func (b *blockerTask) Backlog() int {
+	if b.done.Load() {
+		return 0
+	}
+	return 1
+}
+
+func TestWorkStealingRescuesPinnedBacklog(t *testing.T) {
+	// Worker 0 owns both a blocking task and a backlogged buffer; worker 1
+	// owns nothing. Without stealing the buffer would starve until the
+	// blocker releases — with stealing, worker 1 must drain it.
+	emit, buf, col := buildChain(400)
+	blocker := &blockerTask{release: make(chan struct{})}
+	s := New(Config{Workers: 2, BatchSize: 16})
+	s.AddTo(0, blocker)
+	s.AddTo(0, emit)
+	s.AddTo(0, buf)
+	s.Start()
+	col.Wait() // the chain completes while worker 0 is still blocked
+	close(blocker.release)
+	s.Wait()
+	if col.Len() != 200 {
+		t.Fatalf("collected %d, want 200", col.Len())
+	}
+	c := s.Contention()
+	if c.Steals == 0 {
+		t.Fatalf("chain completed with worker 0 blocked, yet no steals recorded: %+v", c)
+	}
+	var stolen int64
+	for _, st := range s.Stats() {
+		stolen += st.Stolen
+	}
+	if stolen == 0 {
+		t.Fatalf("steal counter is %d but no task reports stolen batches", c.Steals)
+	}
+	if got := s.Counters().Get("sched.steals"); got != c.Steals {
+		t.Fatalf("metadata counter sched.steals = %d, Contention().Steals = %d", got, c.Steals)
+	}
+}
+
+func TestDisableStealingKeepsTasksPinned(t *testing.T) {
+	emit, buf, col := buildChain(400)
+	s := New(Config{Workers: 2, DisableStealing: true, BatchSize: 16})
+	s.AddTo(0, emit)
+	s.AddTo(0, buf)
+	s.Start()
+	s.Wait()
+	col.Wait()
+	if col.Len() != 200 {
+		t.Fatalf("collected %d, want 200", col.Len())
+	}
+	if c := s.Contention(); c.Steals != 0 {
+		t.Fatalf("stealing disabled but Steals = %d", c.Steals)
+	}
+	for _, st := range s.Stats() {
+		if st.Stolen != 0 {
+			t.Fatalf("stealing disabled but task %s reports %d stolen batches", st.Name, st.Stolen)
+		}
+	}
+}
