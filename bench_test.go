@@ -6,6 +6,7 @@ package pipes
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pipes/internal/experiments"
@@ -140,4 +141,17 @@ func BenchmarkE16_ThreadingModes(b *testing.B) {
 	for _, mode := range []string{"single", "hybrid", "per-op"} {
 		b.Run(mode, experiments.E16Threads(mode, 4, 100_000))
 	}
+}
+
+// E17: partitioned intra-operator parallelism — a grouped aggregation
+// hash-partitioned across replicas (ops.Parallel), serial baseline vs
+// one scheduler worker per core.
+func BenchmarkE17_PartitionedParallelism(b *testing.B) {
+	cpus := runtime.NumCPU()
+	replicas := cpus
+	if replicas < 2 {
+		replicas = 2
+	}
+	b.Run(bname("workers", 1), experiments.E17Parallel(1, replicas, 50_000))
+	b.Run(bname("workers", cpus), experiments.E17Parallel(cpus, replicas, 50_000))
 }

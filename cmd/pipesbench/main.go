@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -131,6 +132,16 @@ func main() {
 		for _, mode := range []string{"single", "hybrid", "per-op"} {
 			row(mode, bench(experiments.E16Threads(mode, 4, 100_000)))
 		}
+	}
+	if run("E17") {
+		cpus := runtime.NumCPU()
+		replicas := cpus
+		if replicas < 2 {
+			replicas = 2
+		}
+		section(fmt.Sprintf("E17 — partitioned parallelism (%d replicas, 50k elements, %d CPUs)", replicas, cpus))
+		row("workers=1", bench(experiments.E17Parallel(1, replicas, 50_000)))
+		row(fmt.Sprintf("workers=%d", cpus), bench(experiments.E17Parallel(cpus, replicas, 50_000)))
 	}
 }
 

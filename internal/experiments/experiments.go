@@ -513,3 +513,49 @@ func E16Threads(mode string, chains, elements int) func(b *testing.B) {
 		}
 	}
 }
+
+// E17Parallel measures partitioned intra-operator parallelism: a single
+// source feeds a grouped aggregation hash-partitioned across `replicas`
+// instances (ops.Parallel), whose hand-off buffers are spread over
+// `workers` scheduler threads. Workers=1 gives the serial baseline;
+// Workers=NumCPU shows the speedup partitioning buys on multi-core
+// hosts. The steal counter is reported so contention is visible next to
+// the timing.
+func E17Parallel(workers, replicas, elements int) func(b *testing.B) {
+	return func(b *testing.B) {
+		kf := func(v any) any { return v.(int) % 64 }
+		for iter := 0; iter < b.N; iter++ {
+			b.StopTimer()
+			elems := make([]temporal.Element, elements)
+			for i := range elems {
+				elems[i] = temporal.NewElement(i%1024, temporal.Time(i), temporal.Time(i+64))
+			}
+			src := pubsub.NewSliceSource("src", elems)
+			par := ops.NewParallel("p", 1, replicas, kf, func(r int) pubsub.Pipe {
+				return ops.NewGroupBy(fmt.Sprintf("g%d", r), kf, aggregate.NewSum, nil)
+			})
+			if err := src.Subscribe(par, 0); err != nil {
+				b.Fatal(err)
+			}
+			ctr := pubsub.NewCounter("c", 1)
+			if err := par.Subscribe(ctr, 0); err != nil {
+				b.Fatal(err)
+			}
+			s := sched.New(sched.Config{Workers: workers, BatchSize: 64})
+			s.Add(sched.NewEmitterTask(src))
+			for i, buf := range par.Buffers() {
+				s.AddTo(i%workers, sched.NewBufferTask(buf))
+			}
+			b.StartTimer()
+			s.Start()
+			s.Wait()
+			b.StopTimer()
+			ctr.Wait()
+			if ctr.Count() == 0 {
+				b.Fatal("no aggregation output")
+			}
+			b.ReportMetric(float64(s.Contention().Steals), "steals")
+			b.StartTimer()
+		}
+	}
+}
