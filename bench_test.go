@@ -155,3 +155,11 @@ func BenchmarkE17_PartitionedParallelism(b *testing.B) {
 	b.Run(bname("workers", 1), experiments.E17Parallel(1, replicas, 50_000))
 	b.Run(bname("workers", cpus), experiments.E17Parallel(cpus, replicas, 50_000))
 }
+
+// E18: telemetry overhead — the avg-HOV-speed traffic query undecorated,
+// wrapped in metadata monitors, and with 1-in-128 element tracing on top.
+func BenchmarkE18_TelemetryOverhead(b *testing.B) {
+	b.Run("bare", experiments.E18Telemetry(experiments.TelemetryOff, 0))
+	b.Run("monitored", experiments.E18Telemetry(experiments.TelemetryMonitored, 0))
+	b.Run("traced-1in128", experiments.E18Telemetry(experiments.TelemetryTraced, 128))
+}

@@ -143,6 +143,12 @@ func main() {
 		row("workers=1", bench(experiments.E17Parallel(1, replicas, 50_000)))
 		row(fmt.Sprintf("workers=%d", cpus), bench(experiments.E17Parallel(cpus, replicas, 50_000)))
 	}
+	if run("E18") {
+		section("E18 — telemetry overhead (avg-HOV-speed query, ns/element)")
+		row("bare", bench(experiments.E18Telemetry(experiments.TelemetryOff, 0)))
+		row("monitored", bench(experiments.E18Telemetry(experiments.TelemetryMonitored, 0)))
+		row("traced-1in128", bench(experiments.E18Telemetry(experiments.TelemetryTraced, 128)))
+	}
 }
 
 func section(title string) {

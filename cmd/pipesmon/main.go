@@ -1,36 +1,72 @@
 // pipesmon is the textual counterpart of the paper's performance monitor
-// (Fig. 3): it runs the traffic scenario on the prototype DSMS with every
-// query operator decorated by the secondary-metadata framework and
-// renders a periodic dashboard of rates, selectivities, memory and queue
-// metadata while the workload is live.
+// (Fig. 3): a periodic dashboard of rates, selectivities, latency
+// quantiles, memory and queue metadata of a live query graph.
+//
+// It runs in two modes. Standalone (default), it constructs the traffic
+// scenario on an in-process DSMS with every query operator decorated by
+// the secondary-metadata framework — optionally serving that engine's
+// telemetry endpoint with -telemetry. Attached, it renders the same
+// dashboard for ANY live DSMS by scraping its telemetry endpoint
+// (pipes.Config.TelemetryAddr) over HTTP — no shared process required.
 //
 // Usage:
 //
-//	pipesmon [-readings 200000] [-interval 250ms] [-workers 2]
+//	pipesmon [-readings 200000] [-interval 250ms] [-workers 2] [-telemetry :9154]
+//	pipesmon -attach host:port [-interval 1s] [-duration 30s]
+//
+// On the final dashboard pipesmon prints cumulative totals and exits
+// non-zero if any operator consumed input but produced no output — the
+// silently-dead-operator check for demo pipelines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
 
 	"pipes"
 	"pipes/internal/metadata"
+	"pipes/internal/telemetry"
 	"pipes/internal/traffic"
 )
 
 func main() {
 	var (
-		readings = flag.Int("readings", 200_000, "number of loop-detector readings to stream")
-		interval = flag.Duration("interval", 250*time.Millisecond, "dashboard refresh interval")
-		workers  = flag.Int("workers", 2, "scheduler worker threads")
+		readings  = flag.Int("readings", 200_000, "number of loop-detector readings to stream (standalone)")
+		interval  = flag.Duration("interval", 250*time.Millisecond, "dashboard refresh interval")
+		workers   = flag.Int("workers", 2, "scheduler worker threads (standalone)")
+		telAddr   = flag.String("telemetry", "", "serve the standalone engine's telemetry endpoint on this addr")
+		attach    = flag.String("attach", "", "render the dashboard from a remote telemetry endpoint (host:port)")
+		duration  = flag.Duration("duration", 0, "attached mode: stop after this long (0 = until interrupt or remote completion)")
+		traceEach = flag.Int("trace", 0, "standalone: sample 1-in-N elements for trace spans (0 = telemetry default)")
 	)
 	flag.Parse()
 
-	gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: *readings})
-	dsms := pipes.NewDSMS(pipes.Config{Workers: *workers, MonitorQueries: true})
+	if *attach != "" {
+		os.Exit(runAttached(*attach, *interval, *duration))
+	}
+	os.Exit(runStandalone(*readings, *interval, *workers, *telAddr, *traceEach))
+}
+
+// row is one operator's dashboard line, keyed by metadata kind.
+type row struct {
+	op   string
+	vals map[string]float64
+}
+
+func runStandalone(readings int, interval time.Duration, workers int, telAddr string, traceEach int) int {
+	gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: readings})
+	dsms := pipes.NewDSMS(pipes.Config{
+		Workers:        workers,
+		MonitorQueries: true,
+		TelemetryAddr:  telAddr,
+		TraceEvery:     traceEach,
+	})
 	dsms.RegisterStream("traffic", gen.Source("traffic"), 1000)
 
 	for _, q := range []string{traffic.QueryAvgHOVSpeed, traffic.QueryAvgSectionSpeed} {
@@ -47,37 +83,190 @@ func main() {
 		dsms.Wait()
 		close(done)
 	}()
+	if telAddr != "" {
+		// Start has bound the endpoint by the time the goroutine above
+		// launches the workers; poll briefly for the resolved address.
+		for i := 0; i < 100 && dsms.TelemetryAddr() == ""; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		fmt.Printf("telemetry endpoint: http://%s/metrics\n", dsms.TelemetryAddr())
+	}
 
-	tick := time.NewTicker(*interval)
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-done:
-			render(dsms.Monitors(), true)
+			dead := render(monitorRows(dsms.Monitors()), true)
+			fmt.Println("\nscheduler counters:")
+			for _, cv := range dsms.Scheduler.Counters().SortedSnapshot() {
+				fmt.Printf("  %-24s %d\n", cv.Name, cv.Value)
+			}
 			fmt.Println("\nworkload complete")
-			return
+			return deadExit(dead)
 		case <-tick.C:
-			render(dsms.Monitors(), false)
+			render(monitorRows(dsms.Monitors()), false)
 		}
 	}
 }
 
-func render(monitors []*pipes.Monitored, final bool) {
+func runAttached(addr string, interval, duration time.Duration) int {
+	base := "http://" + strings.TrimPrefix(addr, "http://")
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	fmt.Printf("attached to %s\n", base)
+
+	var last []row
+	scrapes := 0
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	finish := func() int {
+		dead := render(last, true)
+		return deadExit(dead)
+	}
+	for {
+		select {
+		case <-interrupt:
+			return finish()
+		case <-deadline:
+			return finish()
+		case <-tick.C:
+			rows, complete, err := scrapeRows(base)
+			if err != nil {
+				if scrapes > 0 {
+					// The remote engine went away; what we saw last is the
+					// final state.
+					fmt.Printf("remote endpoint gone (%v)\n", err)
+					return finish()
+				}
+				fmt.Printf("waiting for %s: %v\n", base, err)
+				continue
+			}
+			scrapes++
+			last = rows
+			if complete {
+				fmt.Println("\nremote workload complete")
+				return finish()
+			}
+			render(rows, false)
+		}
+	}
+}
+
+// monitorRows converts in-process metadata decorators to dashboard rows.
+func monitorRows(monitors []*pipes.Monitored) []row {
+	rows := make([]row, 0, len(monitors))
+	for _, m := range monitors {
+		vals := map[string]float64{}
+		for k, v := range m.Snapshot() {
+			vals[string(k)] = v
+		}
+		rows = append(rows, row{op: m.Inner().Name(), vals: vals})
+	}
+	return rows
+}
+
+// scrapeRows pulls /metrics from a remote endpoint and reconstructs the
+// dashboard rows from the pipes_metadata samples. complete reports whether
+// every scheduler task has finished.
+func scrapeRows(base string) ([]row, bool, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("status %s", resp.Status)
+	}
+	metrics, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	byOp := map[string]map[string]float64{}
+	tasks, tasksDone := 0, 0
+	for _, m := range metrics {
+		switch m.Name {
+		case "pipes_metadata":
+			op := m.Label("op")
+			if byOp[op] == nil {
+				byOp[op] = map[string]float64{}
+			}
+			byOp[op][m.Label("kind")] = m.Value
+		case "pipes_task_done":
+			tasks++
+			if m.Value == 1 {
+				tasksDone++
+			}
+		}
+	}
+	rows := make([]row, 0, len(byOp))
+	for op, vals := range byOp {
+		rows = append(rows, row{op: op, vals: vals})
+	}
+	return rows, tasks > 0 && tasksDone == tasks, nil
+}
+
+// render prints the dashboard and, on the final call, a cumulative totals
+// line. It returns the operators that consumed input but produced nothing.
+func render(rows []row, final bool) (dead []string) {
 	header := "live secondary metadata"
 	if final {
 		header = "final secondary metadata"
 	}
 	fmt.Printf("\n%s %s\n", header, time.Now().Format("15:04:05.000"))
-	fmt.Printf("  %-16s %10s %10s %8s %10s %10s %8s\n",
-		"operator", "in", "out", "sel", "in/s", "out/s", "memB")
-	sort.Slice(monitors, func(i, j int) bool {
-		return monitors[i].Inner().Name() < monitors[j].Inner().Name()
-	})
-	for _, m := range monitors {
-		s := m.Snapshot()
-		fmt.Printf("  %-16s %10.0f %10.0f %8.3f %10.0f %10.0f %8.0f\n",
-			strings.TrimSuffix(m.Name(), "~mon"),
-			s[metadata.InputCount], s[metadata.OutputCount], s[metadata.Selectivity],
-			s[metadata.InputRate], s[metadata.OutputRate], s[metadata.MemoryUsage])
+	fmt.Printf("  %-16s %10s %10s %8s %10s %10s %8s %9s %9s\n",
+		"operator", "in", "out", "sel", "in/s", "out/s", "memB", "svc p50", "svc p99")
+	sort.Slice(rows, func(i, j int) bool { return rows[i].op < rows[j].op })
+	var totIn, totOut, totMem float64
+	for _, r := range rows {
+		s := r.vals
+		fmt.Printf("  %-16s %10.0f %10.0f %8.3f %10.0f %10.0f %8.0f %9s %9s\n",
+			r.op,
+			s[string(metadata.InputCount)], s[string(metadata.OutputCount)], s[string(metadata.Selectivity)],
+			s[string(metadata.InputRate)], s[string(metadata.OutputRate)], s[string(metadata.MemoryUsage)],
+			ns(s[string(metadata.ServiceTimeP50)]), ns(s[string(metadata.ServiceTimeP99)]))
+		totIn += s[string(metadata.InputCount)]
+		totOut += s[string(metadata.OutputCount)]
+		totMem += s[string(metadata.MemoryUsage)]
+		if s[string(metadata.InputCount)] > 0 && s[string(metadata.OutputCount)] == 0 {
+			dead = append(dead, r.op)
+		}
 	}
+	if final {
+		fmt.Printf("  %-16s %10.0f %10.0f %8s %10s %10s %8.0f\n",
+			"TOTAL", totIn, totOut, "", "", "", totMem)
+	}
+	if !final {
+		return nil
+	}
+	return dead
+}
+
+// ns formats a nanosecond quantity compactly ("-" when absent).
+func ns(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+// deadExit reports dead operators and picks the process exit code: any
+// operator with input but zero output means a silently-dead stage.
+func deadExit(dead []string) int {
+	if len(dead) == 0 {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "ERROR: operators consumed input but produced no output: %s\n",
+		strings.Join(dead, ", "))
+	return 1
 }

@@ -2,10 +2,19 @@
 // detector data over I-880, the average-HOV-speed query, and incident
 // detection via per-section 15-minute averages — with a staged accident
 // that the congestion detector must find.
+//
+// Set PIPES_TELEMETRY=host:port to serve the engine's live telemetry
+// endpoint (Prometheus /metrics, /topology.json, /traces.json, pprof)
+// while the workload runs; see OBSERVABILITY.md. PIPES_TELEMETRY_HOLD
+// accepts a time.Duration to keep the process (and the endpoint) alive
+// after the workload completes, so external scrapers — CI smoke tests,
+// pipesmon -attach — can read the final state.
 package main
 
 import (
 	"fmt"
+	"os"
+	"time"
 
 	"pipes"
 	"pipes/internal/traffic"
@@ -29,7 +38,9 @@ func main() {
 		Incidents:   []traffic.Incident{incident},
 	})
 
-	dsms := pipes.NewDSMS(pipes.Config{Workers: 2, MonitorQueries: true})
+	cfg := pipes.Config{Workers: 2, MonitorQueries: true}
+	cfg.TelemetryAddr = os.Getenv("PIPES_TELEMETRY")
+	dsms := pipes.NewDSMS(cfg)
 	dsms.RegisterStream("traffic", gen.Source("traffic"), 500)
 
 	hov, err := dsms.RegisterQuery(traffic.QueryAvgHOVSpeed)
@@ -47,6 +58,9 @@ func main() {
 	sections.Subscribe(secOut)
 
 	dsms.Start()
+	if addr := dsms.TelemetryAddr(); addr != "" {
+		fmt.Printf("telemetry endpoint: http://%s/metrics\n", addr)
+	}
 	dsms.Wait()
 	hovOut.Wait()
 	secOut.Wait()
@@ -74,6 +88,15 @@ func main() {
 		fmt.Printf("  %-14s in=%6.0f out=%6.0f selectivity=%.3f\n",
 			m.Inner().Name(),
 			snap["input_count"], snap["output_count"], snap["selectivity"])
+	}
+
+	if hold := os.Getenv("PIPES_TELEMETRY_HOLD"); hold != "" && dsms.TelemetryAddr() != "" {
+		d, err := time.ParseDuration(hold)
+		if err != nil {
+			panic(fmt.Sprintf("bad PIPES_TELEMETRY_HOLD %q: %v", hold, err))
+		}
+		fmt.Printf("\nholding telemetry endpoint open for %s\n", d)
+		time.Sleep(d)
 	}
 }
 

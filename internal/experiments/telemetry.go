@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"pipes/internal/cql"
+	"pipes/internal/metadata"
+	"pipes/internal/optimizer"
+	"pipes/internal/pubsub"
+	"pipes/internal/telemetry"
+	"pipes/internal/temporal"
+	"pipes/internal/traffic"
+)
+
+// TelemetryMode selects the instrumentation level for E18.
+type TelemetryMode int
+
+const (
+	// TelemetryOff runs the bare physical operators.
+	TelemetryOff TelemetryMode = iota
+	// TelemetryMonitored wraps every operator in the secondary-metadata
+	// decorator (counts, rates, EWMA cost, service-time histograms).
+	TelemetryMonitored
+	// TelemetryTraced adds 1-in-N element tracing on top of the
+	// decorators: sampled elements carry a trace context and every hop
+	// appends spans and feeds the queue-time histograms.
+	TelemetryTraced
+)
+
+// E18Telemetry measures the overhead of the observability layer on the
+// traffic workload (avg-HOV-speed query, b.N readings). The same graph
+// runs undecorated, decorated, and decorated+traced; comparing ns/op
+// across the three variants gives the per-element cost of metadata
+// collection and sampled tracing.
+func E18Telemetry(mode TelemetryMode, traceEvery int) func(b *testing.B) {
+	return func(b *testing.B) {
+		gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: b.N})
+		cat := optimizer.NewCatalog()
+		src := gen.Source("traffic")
+		cat.Register("traffic", src, 1000)
+		o := optimizer.New(cat)
+
+		var tracer *telemetry.Tracer
+		switch mode {
+		case TelemetryMonitored:
+			o.SetDecorator(func(p pubsub.Pipe) pubsub.Pipe {
+				return metadata.NewMonitored(p)
+			})
+		case TelemetryTraced:
+			tracer = telemetry.NewTracer(traceEvery, 256)
+			o.SetDecorator(func(p pubsub.Pipe) pubsub.Pipe {
+				return metadata.NewMonitored(p, metadata.WithTracer(tracer))
+			})
+		}
+
+		parsed, err := cql.Parse(traffic.QueryAvgHOVSpeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := o.AddQuery(parsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := pubsub.NewCounter("c", 1)
+		if err := inst.Root.Subscribe(c, 0); err != nil {
+			b.Fatal(err)
+		}
+		if tracer != nil {
+			// The stream feed tags sampled elements exactly as
+			// DSMS.RegisterStream does in a telemetry-enabled engine.
+			src.SetTransferHook(func(e temporal.Element) temporal.Element {
+				if tr := tracer.MaybeTrace(); tr != nil {
+					tr.Hop("traffic", "emit", e.Start)
+					return telemetry.Attach(e, tr)
+				}
+				return e
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		pubsub.Drive(src)
+		b.StopTimer()
+		if c.Count() == 0 && b.N > 1000 {
+			b.Fatal("query produced no output")
+		}
+		if tracer != nil {
+			b.ReportMetric(float64(tracer.Sampled()), "traces")
+		}
+	}
+}

@@ -260,6 +260,47 @@ func (m *Manager) SetBudget(total int) {
 	m.mu.Unlock()
 }
 
+// SubStats is one subscription's state in a Stats snapshot.
+type SubStats struct {
+	Name       string
+	Usage      int
+	Limit      int
+	ShedBytes  int64
+	ShedEvents int64
+}
+
+// Stats is a point-in-time snapshot of the manager for the telemetry
+// endpoint: the global budget, summed usage and the per-subscription
+// assignments, sorted by name for deterministic scrapes.
+type Stats struct {
+	Budget     int
+	TotalUsage int
+	Subs       []SubStats
+}
+
+// Stats snapshots the manager state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	subs := make([]*Subscription, len(m.subs))
+	copy(subs, m.subs)
+	total := m.total
+	m.mu.Unlock()
+	st := Stats{Budget: total}
+	for _, s := range subs {
+		use := s.user.MemoryUsage()
+		st.TotalUsage += use
+		st.Subs = append(st.Subs, SubStats{
+			Name:       s.user.Name(),
+			Usage:      use,
+			Limit:      s.Limit(),
+			ShedBytes:  s.ShedBytesTotal(),
+			ShedEvents: s.ShedEvents(),
+		})
+	}
+	sort.Slice(st.Subs, func(i, j int) bool { return st.Subs[i].Name < st.Subs[j].Name })
+	return st
+}
+
 // Report renders a per-subscription usage table (for cmd/pipesmon).
 func (m *Manager) Report() string {
 	m.mu.Lock()

@@ -38,6 +38,20 @@ func (c *Counters) Counter(name string) *atomic.Int64 {
 	return v
 }
 
+// Add increments name by delta (registering it on first use) — the
+// convenience path for call sites that do not cache the handle.
+func (c *Counters) Add(name string, delta int64) { c.Counter(name).Add(delta) }
+
+// Reset zeroes every registered counter. Handles stay valid (tests reuse
+// one registry across subtests).
+func (c *Counters) Reset() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range c.vals {
+		v.Store(0)
+	}
+}
+
 // Get returns the current value of name (0 if never registered).
 func (c *Counters) Get(name string) int64 {
 	c.mu.RLock()
@@ -59,18 +73,32 @@ func (c *Counters) Snapshot() map[string]int64 {
 	return out
 }
 
+// CounterValue is one (name, value) pair of a sorted snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// SortedSnapshot returns every registered counter in ascending name order
+// — the deterministic enumeration pipesmon and the telemetry endpoint
+// render, so output is stable across runs regardless of registration
+// order.
+func (c *Counters) SortedSnapshot() []CounterValue {
+	snap := c.Snapshot()
+	out := make([]CounterValue, 0, len(snap))
+	for k, v := range snap {
+		out = append(out, CounterValue{Name: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Report renders the counters sorted by name, one per line (for
 // cmd/pipesmon and test output).
 func (c *Counters) Report() string {
-	snap := c.Snapshot()
-	names := make([]string, 0, len(snap))
-	for k := range snap {
-		names = append(names, k)
-	}
-	sort.Strings(names)
 	out := ""
-	for _, k := range names {
-		out += fmt.Sprintf("%-24s %d\n", k, snap[k])
+	for _, cv := range c.SortedSnapshot() {
+		out += fmt.Sprintf("%-24s %d\n", cv.Name, cv.Value)
 	}
 	return out
 }

@@ -12,12 +12,14 @@
 package metadata
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"pipes/internal/aggregate"
 	"pipes/internal/pubsub"
+	"pipes/internal/telemetry"
 	"pipes/internal/temporal"
 )
 
@@ -41,6 +43,21 @@ const (
 	QueueLen        Kind = "queue_len"          // buffered elements, for Buffer nodes
 	LastInputStamp  Kind = "last_input_ts"      // application time of last input
 	LastOutputStamp Kind = "last_output_ts"
+
+	// Latency-distribution kinds, backed by the telemetry layer's
+	// lock-free histograms. Service time is the wall time the operator
+	// spends processing one input element (measured on the 1-in-16
+	// maintenance sample, see maintainEvery); queue time is the hand-off
+	// delay between the upstream publish and this operator's Process
+	// (measured on traced elements, i.e. sampled by the tracer).
+	ServiceTimeP50 Kind = "service_time_p50_ns"
+	ServiceTimeP95 Kind = "service_time_p95_ns"
+	ServiceTimeP99 Kind = "service_time_p99_ns"
+	ServiceTimeMax Kind = "service_time_max_ns"
+	QueueTimeP50   Kind = "queue_time_p50_ns"
+	QueueTimeP95   Kind = "queue_time_p95_ns"
+	QueueTimeP99   Kind = "queue_time_p99_ns"
+	QueueTimeMax   Kind = "queue_time_max_ns"
 )
 
 // AllKinds lists every supported kind, sorted, for tools that enumerate.
@@ -49,6 +66,8 @@ func AllKinds() []Kind {
 		InputCount, OutputCount, InputRate, OutputRate, Selectivity,
 		Subscribers, MemoryUsage, InputRateAvg, InputRateVar, OutputRateAvg,
 		OutputRateVar, ProcessingCost, QueueLen, LastInputStamp, LastOutputStamp,
+		ServiceTimeP50, ServiceTimeP95, ServiceTimeP99, ServiceTimeMax,
+		QueueTimeP50, QueueTimeP95, QueueTimeP99, QueueTimeMax,
 	}
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 	return ks
@@ -95,20 +114,33 @@ type MemoryReporter interface {
 }
 
 // rateEstimator EWMA-smooths instantaneous event rates and tracks their
-// mean and variance with the shared online aggregates.
+// mean and variance with an inline Welford recurrence (the same online
+// aggregation the aggregate package implements, unboxed: going through
+// the Aggregate interface costs one float64 allocation per Insert, which
+// E18 showed dominating the decorator's per-element overhead). It carries
+// its own lock so the decorator's Process path never serialises on the
+// shared stats mutex.
 type rateEstimator struct {
+	mu    sync.Mutex
 	alpha float64
 	last  time.Time
 	rate  float64
-	avg   aggregate.Aggregate
-	vari  aggregate.Aggregate
+	n     float64
+	avg   float64
+	m2    float64
 }
 
 func newRateEstimator(alpha float64) *rateEstimator {
-	return &rateEstimator{alpha: alpha, avg: aggregate.NewAvg(), vari: aggregate.NewVariance()}
+	return &rateEstimator{alpha: alpha}
 }
 
-func (r *rateEstimator) observe(now time.Time) {
+// observe folds one maintenance sample into the estimator. weight is the
+// number of elements the sample stands for: with strided maintenance the
+// estimator sees every weight-th element, so the instantaneous rate over
+// the gap is weight/dt.
+func (r *rateEstimator) observe(now time.Time, weight float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.last.IsZero() {
 		r.last = now
 		return
@@ -118,30 +150,37 @@ func (r *rateEstimator) observe(now time.Time) {
 	if dt <= 0 {
 		return
 	}
-	inst := 1.0 / dt
+	inst := weight / dt
 	if r.rate == 0 {
 		r.rate = inst
 	} else {
 		r.rate = r.alpha*inst + (1-r.alpha)*r.rate
 	}
-	r.avg.Insert(inst)
-	r.vari.Insert(inst)
+	r.n++
+	delta := inst - r.avg
+	r.avg += delta / r.n
+	r.m2 += delta * (inst - r.avg)
 }
 
-func (r *rateEstimator) value() float64 { return r.rate }
+func (r *rateEstimator) value() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rate
+}
 
 func (r *rateEstimator) mean() float64 {
-	if v := r.avg.Value(); v != nil {
-		return v.(float64)
-	}
-	return 0
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.avg
 }
 
 func (r *rateEstimator) variance() float64 {
-	if v := r.vari.Value(); v != nil {
-		return v.(float64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return 0
 	}
-	return 0
+	return r.m2 / r.n
 }
 
 // Monitored decorates a pipe with secondary metadata. It interposes on the
@@ -153,15 +192,76 @@ type Monitored struct {
 	inner pubsub.Pipe
 	clock Clock
 
-	mu       sync.Mutex
-	kinds    map[Kind]bool
-	inCount  int64
-	outCount int64
-	inRate   *rateEstimator
-	outRate  *rateEstimator
-	costNS   float64 // mean ns per processed input (EWMA)
-	lastIn   temporal.Time
-	lastOut  temporal.Time
+	// svcHist and queueHist are the decorator's latency histograms:
+	// service time (inner Process duration, sampled 1-in-maintainEvery
+	// while a service/processing-cost kind is active) and queue time
+	// (upstream publish to Process hand-off delay, via traced elements).
+	svcHist   *telemetry.Histogram
+	queueHist *telemetry.Histogram
+
+	// tracer, when set, enables element tracing. Sampled (traced) inputs
+	// take traceMu for the duration of inner.Process and publish their
+	// context in active, so the output tap can attribute fresh elements
+	// built by the inner operator (map/aggregate/join) to the input's
+	// trace. Unsampled inputs stay lock-free: under the scheduler's
+	// single-owner activation contract an operator processes one element
+	// at a time, so the attribution is exact; callers that drive one
+	// operator from several goroutines directly may, at worst, attribute
+	// a sampled span to a neighbouring element.
+	tracer  *telemetry.Tracer
+	traceMu sync.Mutex
+	active  atomic.Pointer[telemetry.Trace]
+
+	// Hot-path state is atomic so Process/recordOut never take a lock
+	// unless a rate estimator is active; flags caches the kind set as a
+	// bitmask (map lookups per element showed up in E18).
+	flags    atomic.Uint32
+	inCount  atomic.Int64
+	outCount atomic.Int64
+	lastIn   atomic.Int64 // temporal.Time of last input
+	lastOut  atomic.Int64
+	costNS   atomic.Uint64 // math.Float64bits of the EWMA ns/element
+	nowNano  atomic.Int64  // clock reading at last Process entry, reused by the tap
+
+	inRate  *rateEstimator
+	outRate *rateEstimator
+
+	mu    sync.Mutex // guards kinds
+	kinds map[Kind]bool
+}
+
+// Bits of the flags bitmask: which kind groups need per-element work.
+const (
+	flagInRate uint32 = 1 << iota
+	flagOutRate
+	flagTiming
+)
+
+// maintainEvery is the deterministic maintenance stride: counts and
+// stamps are exact for every element, but clock readings, rate-estimator
+// updates, service timing and the cost EWMA happen on one element in
+// maintainEvery (the first, then every stride-th). The estimators
+// compensate (rates weight inter-sample gaps by the stride; histogram
+// quantiles and EWMAs are statistics either way), and E18 measures the
+// difference: per-element clock reads and estimator locks were most of
+// the decorator's overhead.
+const maintainEvery = 16
+
+// recomputeFlags refreshes the hot-path bitmask from the kinds map.
+// Callers hold m.mu (or are the constructor).
+func (m *Monitored) recomputeFlags() {
+	var f uint32
+	if m.kinds[InputRate] || m.kinds[InputRateAvg] || m.kinds[InputRateVar] {
+		f |= flagInRate
+	}
+	if m.kinds[OutputRate] || m.kinds[OutputRateAvg] || m.kinds[OutputRateVar] {
+		f |= flagOutRate
+	}
+	if m.kinds[ProcessingCost] || m.kinds[ServiceTimeP50] || m.kinds[ServiceTimeP95] ||
+		m.kinds[ServiceTimeP99] || m.kinds[ServiceTimeMax] {
+		f |= flagTiming
+	}
+	m.flags.Store(f)
 }
 
 // Option configures a Monitored decorator.
@@ -169,6 +269,12 @@ type Option func(*Monitored)
 
 // WithClock substitutes the time source (tests use FakeClock).
 func WithClock(c Clock) Option { return func(m *Monitored) { m.clock = c } }
+
+// WithTracer enables element-level tracing: traced inputs get an "in"
+// span, outputs an "out" span, and trace contexts are re-attached across
+// operators that construct fresh elements. Tracing mode serialises this
+// decorator's Process (see OBSERVABILITY.md for the hand-off contract).
+func WithTracer(t *telemetry.Tracer) Option { return func(m *Monitored) { m.tracer = t } }
 
 // WithKinds restricts the computed metrics to the given kinds. By default
 // all kinds are active.
@@ -191,6 +297,8 @@ func NewMonitored(inner pubsub.Pipe, opts ...Option) *Monitored {
 		clock:      SystemClock{},
 		inRate:     newRateEstimator(0.2),
 		outRate:    newRateEstimator(0.2),
+		svcHist:    telemetry.NewHistogram(),
+		queueHist:  telemetry.NewHistogram(),
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -201,6 +309,7 @@ func NewMonitored(inner pubsub.Pipe, opts ...Option) *Monitored {
 			m.kinds[k] = true
 		}
 	}
+	m.recomputeFlags()
 	inner.Subscribe((*monitorTap)(m), 0)
 	return m
 }
@@ -216,6 +325,19 @@ func (t *monitorTap) Name() string { return (*Monitored)(t).Name() + "~tap" }
 func (t *monitorTap) Process(e temporal.Element, _ int) {
 	m := (*Monitored)(t)
 	m.recordOut(e)
+	if tr := telemetry.FromElement(e); tr != nil {
+		// The inner operator forwarded the traced element itself.
+		tr.Hop(m.inner.Name(), "out", e.Start)
+	} else if m.tracer != nil {
+		if act := m.active.Load(); act != nil {
+			// The inner operator built a fresh element while processing a
+			// traced input (map/aggregate/join): re-attach the input's
+			// trace. The slot is non-nil only while a traced input is
+			// inside inner.Process.
+			e = telemetry.Attach(e, act)
+			act.Hop(m.inner.Name(), "out", e.Start)
+		}
+	}
 	m.Transfer(e)
 }
 
@@ -251,43 +373,76 @@ func (m *Monitored) Shrink(factor float64) {
 
 // Process implements pubsub.Sink: record, optionally time, and forward.
 func (m *Monitored) Process(e temporal.Element, input int) {
-	m.mu.Lock()
-	now := m.clock.Now()
-	m.inCount++
-	if m.kinds[InputRate] || m.kinds[InputRateAvg] || m.kinds[InputRateVar] {
-		m.inRate.observe(now)
-	}
-	m.lastIn = e.Start
-	timing := m.kinds[ProcessingCost]
-	m.mu.Unlock()
+	flags := m.flags.Load()
+	n := m.inCount.Add(1)
+	m.lastIn.Store(int64(e.Start))
 
-	if timing {
-		start := time.Now()
-		m.inner.Process(e, input)
-		elapsed := float64(time.Since(start).Nanoseconds())
-		m.mu.Lock()
-		if m.costNS == 0 {
-			m.costNS = elapsed
-		} else {
-			m.costNS = 0.2*elapsed + 0.8*m.costNS
+	// Maintenance sample? One clock reading then serves the input-rate
+	// estimator, the service timer, and (via nowNano) the output tap's
+	// rate estimator.
+	maintain := (n-1)%maintainEvery == 0
+	var now time.Time
+	if maintain && flags&(flagInRate|flagOutRate|flagTiming) != 0 {
+		now = m.clock.Now()
+		m.nowNano.Store(now.UnixNano())
+		if flags&flagInRate != 0 {
+			m.inRate.observe(now, maintainEvery)
 		}
-		m.mu.Unlock()
+	}
+
+	tr := telemetry.FromElement(e)
+	if tr != nil {
+		// The gap since the previous hop is the hand-off (queue) delay
+		// between the upstream publish and this operator.
+		if gap := tr.Hop(m.inner.Name(), "in", e.Start); gap > 0 {
+			m.queueHist.Observe(gap)
+		}
+		// Publish the context for the tap; traced inputs serialise with
+		// each other so two sampled elements can't swap attributions.
+		m.traceMu.Lock()
+		m.active.Store(tr)
+		defer func() {
+			m.active.Store(nil)
+			m.traceMu.Unlock()
+		}()
+	}
+
+	if maintain && flags&flagTiming != 0 {
+		start := now
+		if _, sys := m.clock.(SystemClock); !sys {
+			// Service time is real wall time even under a fake clock.
+			start = time.Now()
+		}
+		m.inner.Process(e, input)
+		ns := time.Since(start).Nanoseconds()
+		m.svcHist.Observe(ns)
+		elapsed := float64(ns)
+		// EWMA update; a lost update under concurrent writers only drops
+		// one sample from the smoothing.
+		if old := math.Float64frombits(m.costNS.Load()); old == 0 {
+			m.costNS.Store(math.Float64bits(elapsed))
+		} else {
+			m.costNS.Store(math.Float64bits(0.2*elapsed + 0.8*old))
+		}
 		return
 	}
 	m.inner.Process(e, input)
 }
 
 // Done implements pubsub.Sink.
-func (m *Monitored) Done(input int) { m.inner.Done(input) }
+func (m *Monitored) Done(input int) {
+	m.inner.Done(input)
+}
 
 func (m *Monitored) recordOut(e temporal.Element) {
-	m.mu.Lock()
-	m.outCount++
-	if m.kinds[OutputRate] || m.kinds[OutputRateAvg] || m.kinds[OutputRateVar] {
-		m.outRate.observe(m.clock.Now())
+	n := m.outCount.Add(1)
+	m.lastOut.Store(int64(e.Start))
+	if (n-1)%maintainEvery == 0 && m.flags.Load()&flagOutRate != 0 {
+		// Outputs are stamped with the clock reading taken at the last
+		// sampled Process entry: outputs are emitted synchronously inside
+		// inner.Process, so the skew is bounded by one maintenance stride.
+		m.outRate.observe(time.Unix(0, m.nowNano.Load()), maintainEvery)
 	}
-	m.lastOut = e.Start
-	m.mu.Unlock()
 }
 
 // SetKinds replaces the active metric composition at runtime.
@@ -298,6 +453,7 @@ func (m *Monitored) SetKinds(kinds ...Kind) {
 	for _, k := range kinds {
 		m.kinds[k] = true
 	}
+	m.recomputeFlags()
 }
 
 // Kinds returns the active metric kinds, sorted.
@@ -314,7 +470,36 @@ func (m *Monitored) Kinds() []Kind {
 
 // Get returns the current value of one metric and whether that kind is
 // active and defined for this node.
+//
+// Kinds that delegate to the inner node (MemoryUsage, QueueLen,
+// Subscribers) are computed WITHOUT holding the stats mutex: the inner
+// node takes its own lock to answer, and it also holds that lock while
+// flushing end-of-stream results through the tap back into recordOut —
+// holding m.mu across the delegated call would be an ABBA deadlock.
 func (m *Monitored) Get(k Kind) (float64, bool) {
+	switch k {
+	case Subscribers, MemoryUsage, QueueLen:
+		m.mu.Lock()
+		active := m.kinds[k]
+		m.mu.Unlock()
+		if !active {
+			return 0, false
+		}
+		switch k {
+		case Subscribers:
+			return float64(len(m.Subscriptions())), true
+		case MemoryUsage:
+			if r, ok := m.inner.(MemoryReporter); ok {
+				return float64(r.MemoryUsage()), true
+			}
+			return 0, false
+		default: // QueueLen
+			if b, ok := m.inner.(interface{ Len() int }); ok {
+				return float64(b.Len()), true
+			}
+			return 0, false
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.kinds[k] {
@@ -322,9 +507,9 @@ func (m *Monitored) Get(k Kind) (float64, bool) {
 	}
 	switch k {
 	case InputCount:
-		return float64(m.inCount), true
+		return float64(m.inCount.Load()), true
 	case OutputCount:
-		return float64(m.outCount), true
+		return float64(m.outCount.Load()), true
 	case InputRate:
 		return m.inRate.value(), true
 	case OutputRate:
@@ -338,31 +523,60 @@ func (m *Monitored) Get(k Kind) (float64, bool) {
 	case OutputRateVar:
 		return m.outRate.variance(), true
 	case Selectivity:
-		if m.inCount == 0 {
+		in := m.inCount.Load()
+		if in == 0 {
 			return 0, false
 		}
-		return float64(m.outCount) / float64(m.inCount), true
-	case Subscribers:
-		return float64(len(m.Subscriptions())), true
+		return float64(m.outCount.Load()) / float64(in), true
 	case ProcessingCost:
-		return m.costNS, true
+		return math.Float64frombits(m.costNS.Load()), true
 	case LastInputStamp:
-		return float64(m.lastIn), true
+		return float64(m.lastIn.Load()), true
 	case LastOutputStamp:
-		return float64(m.lastOut), true
-	case MemoryUsage:
-		if r, ok := m.inner.(MemoryReporter); ok {
-			return float64(r.MemoryUsage()), true
-		}
-		return 0, false
-	case QueueLen:
-		if b, ok := m.inner.(interface{ Len() int }); ok {
-			return float64(b.Len()), true
-		}
-		return 0, false
+		return float64(m.lastOut.Load()), true
+	case ServiceTimeP50:
+		return histQuantile(m.svcHist, 0.5)
+	case ServiceTimeP95:
+		return histQuantile(m.svcHist, 0.95)
+	case ServiceTimeP99:
+		return histQuantile(m.svcHist, 0.99)
+	case ServiceTimeMax:
+		return histMax(m.svcHist)
+	case QueueTimeP50:
+		return histQuantile(m.queueHist, 0.5)
+	case QueueTimeP95:
+		return histQuantile(m.queueHist, 0.95)
+	case QueueTimeP99:
+		return histQuantile(m.queueHist, 0.99)
+	case QueueTimeMax:
+		return histMax(m.queueHist)
 	}
 	return 0, false
 }
+
+// histQuantile reads a quantile from h; undefined until an observation
+// lands.
+func histQuantile(h *telemetry.Histogram, q float64) (float64, bool) {
+	if h.Count() == 0 {
+		return 0, false
+	}
+	return float64(h.Quantile(q)), true
+}
+
+func histMax(h *telemetry.Histogram) (float64, bool) {
+	if h.Count() == 0 {
+		return 0, false
+	}
+	return float64(h.Max()), true
+}
+
+// ServiceTimeHistogram exposes the decorator's service-time histogram for
+// the telemetry registry.
+func (m *Monitored) ServiceTimeHistogram() *telemetry.Histogram { return m.svcHist }
+
+// QueueTimeHistogram exposes the decorator's queue-time histogram for the
+// telemetry registry.
+func (m *Monitored) QueueTimeHistogram() *telemetry.Histogram { return m.queueHist }
 
 // Snapshot returns every active, defined metric.
 func (m *Monitored) Snapshot() map[Kind]float64 {

@@ -199,7 +199,7 @@ func TestDecoratorTransparency(t *testing.T) {
 
 func TestAllKindsSortedAndComplete(t *testing.T) {
 	ks := AllKinds()
-	if len(ks) != 15 {
+	if len(ks) != 23 {
 		t.Errorf("AllKinds returned %d kinds", len(ks))
 	}
 	for i := 1; i < len(ks); i++ {

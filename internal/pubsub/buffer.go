@@ -2,10 +2,20 @@ package pubsub
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"pipes/internal/telemetry"
 	"pipes/internal/temporal"
 	"pipes/internal/xds"
 )
+
+// queued is one buffered element plus its enqueue wall-stamp (0 when
+// queue-time telemetry is off, so the hot path pays no clock read).
+type queued struct {
+	e  temporal.Element
+	at int64
+}
 
 // Buffer is an explicit inter-operator queue, modelled as a pipe. PIPES
 // connects operators directly and inserts buffers only at virtual-node
@@ -18,8 +28,13 @@ import (
 type Buffer struct {
 	SourceBase
 
+	// queueHist, when set, records per-element residence time (enqueue to
+	// dequeue) — the "queue time" half of the telemetry layer's latency
+	// split. Swapped atomically so it can be attached to a running buffer.
+	queueHist atomic.Pointer[telemetry.Histogram]
+
 	mu           sync.Mutex
-	q            xds.Queue[temporal.Element]
+	q            xds.Queue[queued]
 	upstreamDone bool
 	// draining marks an in-progress Drain: a dequeued element may still be
 	// in flight downstream even though the queue reads empty, so Done must
@@ -30,13 +45,25 @@ type Buffer struct {
 
 // NewBuffer returns an unbounded buffer.
 func NewBuffer(name string) *Buffer {
-	return &Buffer{SourceBase: NewSourceBase(name), q: xds.NewQueue[temporal.Element]()}
+	return &Buffer{SourceBase: NewSourceBase(name), q: xds.NewQueue[queued]()}
 }
+
+// SetQueueTimeHistogram attaches (or with nil detaches) the histogram
+// recording element residence time in this buffer, in nanoseconds.
+func (b *Buffer) SetQueueTimeHistogram(h *telemetry.Histogram) { b.queueHist.Store(h) }
+
+// QueueTimeHistogram returns the attached residence-time histogram (nil
+// when telemetry is off).
+func (b *Buffer) QueueTimeHistogram() *telemetry.Histogram { return b.queueHist.Load() }
 
 // Process implements Sink by enqueueing.
 func (b *Buffer) Process(e temporal.Element, _ int) {
+	var at int64
+	if b.queueHist.Load() != nil || e.Trace != nil {
+		at = time.Now().UnixNano()
+	}
 	b.mu.Lock()
-	b.q.Enqueue(e) // unbounded queue: cannot fail
+	b.q.Enqueue(queued{e: e, at: at}) // unbounded queue: cannot fail
 	b.mu.Unlock()
 }
 
@@ -64,12 +91,21 @@ func (b *Buffer) Drain(max int) int {
 	b.mu.Lock()
 	b.draining = true
 	for max <= 0 || n < max {
-		e, ok := b.q.Dequeue()
+		qe, ok := b.q.Dequeue()
 		if !ok {
 			break
 		}
 		b.mu.Unlock()
-		b.Transfer(e)
+		if qe.at != 0 {
+			wait := time.Now().UnixNano() - qe.at
+			if h := b.queueHist.Load(); h != nil {
+				h.Observe(wait)
+			}
+			if tr := telemetry.FromElement(qe.e); tr != nil {
+				tr.Hop(b.Name(), "queue", qe.e.Start)
+			}
+		}
+		b.Transfer(qe.e)
 		n++
 		b.mu.Lock()
 	}

@@ -93,7 +93,14 @@ type SourceBase struct {
 	mu   sync.Mutex                    // serialises subscription writes
 	subs atomic.Pointer[[]Subscription] // immutable snapshot read by Transfer
 	done atomic.Bool
+	hook atomic.Pointer[TransferHook] // optional telemetry tap on Transfer
 }
+
+// TransferHook observes — and may annotate — every element a source
+// publishes, immediately before the hand-off to the subscribers. The
+// telemetry layer uses it to attach sampled trace contexts in the dispatch
+// path; the hook must be fast and must not block.
+type TransferHook func(e temporal.Element) temporal.Element
 
 // NewSourceBase returns a SourceBase with the given display name.
 func NewSourceBase(name string) SourceBase { return SourceBase{name: name} }
@@ -166,9 +173,22 @@ func (s *SourceBase) Subscriptions() []Subscription {
 // their own Transfer/SignalDone sequence (operators do so via ProcMu, the
 // scheduler via single-owner task activation).
 func (s *SourceBase) Transfer(e temporal.Element) {
+	if h := s.hook.Load(); h != nil {
+		e = (*h)(e)
+	}
 	for _, sub := range s.loadSubs() {
 		sub.Sink.Process(e, sub.Input)
 	}
+}
+
+// SetTransferHook installs (or, with nil, removes) the publish tap. The
+// cost when unset is one atomic pointer load per Transfer.
+func (s *SourceBase) SetTransferHook(h TransferHook) {
+	if h == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&h)
 }
 
 // SignalDone propagates end-of-stream to all subscribers exactly once.

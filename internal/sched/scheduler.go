@@ -69,6 +69,7 @@ type Scheduler struct {
 	finished atomic.Int64 // tasks that reported done
 
 	counters  *metadata.Counters
+	batches   *atomic.Int64 // total batches executed across all workers
 	steals    *atomic.Int64 // batches run on tasks owned by another worker
 	stealMiss *atomic.Int64 // idle scans that found nothing to steal
 	conflicts *atomic.Int64 // activation-lock acquisition failures
@@ -83,6 +84,7 @@ func New(cfg Config) *Scheduler {
 		tasks:     make([][]*trackedTask, cfg.Workers),
 		stop:      make(chan struct{}),
 		counters:  ctr,
+		batches:   ctr.Counter("sched.batches"),
 		steals:    ctr.Counter("sched.steals"),
 		stealMiss: ctr.Counter("sched.steal_misses"),
 		conflicts: ctr.Counter("sched.lock_conflicts"),
@@ -145,6 +147,7 @@ func (s *Scheduler) runTask(t *trackedTask, batch int, stolen bool) (ran bool, n
 		return false, 0, false
 	}
 	n, fin = t.RunBatch(batch)
+	s.batches.Add(1)
 	t.observe(n, stolen)
 	if fin && t.markDone() {
 		s.finished.Add(1)
@@ -252,8 +255,8 @@ func (s *Scheduler) Stats() []TaskStats {
 }
 
 // Counters exposes the scheduler's contention counters through the
-// secondary-metadata framework: sched.steals, sched.steal_misses and
-// sched.lock_conflicts.
+// secondary-metadata framework: sched.batches, sched.steals,
+// sched.steal_misses and sched.lock_conflicts.
 func (s *Scheduler) Counters() *metadata.Counters { return s.counters }
 
 // Contention is an aggregate snapshot of the scheduler's synchronization

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zero: count=%d p50=%d max=%d", h.Count(), h.Quantile(0.5), h.Max())
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000) // 1µs .. 1ms
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1_000_000 {
+		t.Fatalf("max = %d, want 1000000", h.Max())
+	}
+	if h.Sum() != 1000*1001/2*1000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	// Exponential buckets give ~2x resolution; the true median is 500500ns.
+	if p50 < 250_000 || p50 > 1_050_000 {
+		t.Fatalf("p50 = %dns, expected within a bucket of 500µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 (%d) < p50 (%d)", p99, p50)
+	}
+	if q := h.Quantile(1); q > h.Max() {
+		t.Fatalf("p100 %d exceeds max %d", q, h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("negative observation not clamped: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many writers while a
+// reader snapshots continuously — the lock-free contract, verified under
+// -race by CI.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 20_000
+	)
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		var lastCount uint64
+		for {
+			s := h.Snapshot()
+			if s.Count < lastCount {
+				t.Error("snapshot count went backwards")
+				return
+			}
+			lastCount = s.Count
+			_ = s.Quantile(0.99)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if h.Count() != writers*perW {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*perW)
+	}
+	s := h.Snapshot()
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestBucketBoundsMonotone(t *testing.T) {
+	prev := int64(0)
+	for i := 0; i < histBuckets-1; i++ {
+		b := BucketBound(i)
+		if b <= prev {
+			t.Fatalf("bounds not increasing at %d: %d <= %d", i, b, prev)
+		}
+		prev = b
+	}
+	for _, ns := range []int64{0, 1, 15, 16, 17, 1 << 20, 1 << 40} {
+		i := bucketOf(ns)
+		if i > 0 && ns <= BucketBound(i-1) {
+			t.Fatalf("ns=%d landed above its bucket (%d)", ns, i)
+		}
+		if ns > BucketBound(i) {
+			t.Fatalf("ns=%d exceeds bucket %d bound", ns, i)
+		}
+	}
+}

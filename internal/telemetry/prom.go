@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric is one parsed Prometheus text-format sample.
+type Metric struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of label k ("" when absent).
+func (m Metric) Label(k string) string { return m.Labels[k] }
+
+// ParsePrometheus parses Prometheus text exposition format (the subset
+// WritePrometheus emits: `name{k="v",...} value` lines, #-comments and
+// blank lines skipped). It is the consumer half used by `pipesmon -attach`
+// and the scrape tests.
+func ParsePrometheus(r io.Reader) ([]Metric, error) {
+	var out []Metric
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Metric, error) {
+	m := Metric{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return m, fmt.Errorf("no value in %q", line)
+	} else {
+		m.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return m, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], m.Labels); err != nil {
+			return m, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (exposition format allows one) would appear as a
+	// second field; take the first only.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return m, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	m.Value = v
+	return m, nil
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("bad label pair %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted label value after %q", key)
+		}
+		val, rest, err := unquoteLeading(s)
+		if err != nil {
+			return err
+		}
+		into[key] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+	}
+	return nil
+}
+
+// unquoteLeading consumes a leading Go-style quoted string and returns its
+// value plus the remainder.
+func unquoteLeading(s string) (string, string, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string in %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			val, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return val, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the DSMS scrape endpoint: a plain net/http server exposing
+//
+//	/metrics            Prometheus text-format metrics from the Registry
+//	/topology.json      JSON snapshot of the live query-graph topology
+//	/traces.json        Chrome trace_event JSON of the retained traces
+//	/debug/pprof/...    the standard Go profiling handlers
+//	/healthz            200 ok
+//
+// Start it with Serve; it runs until Close.
+type Server struct {
+	reg      *Registry
+	tracer   *Tracer
+	topology func() any
+
+	mu sync.Mutex
+	ln net.Listener
+	hs *http.Server
+}
+
+// NewServer assembles a server over the given registry, topology snapshot
+// function (may be nil) and tracer (may be nil).
+func NewServer(reg *Registry, topology func() any, tracer *Tracer) *Server {
+	return &Server{reg: reg, tracer: tracer, topology: topology}
+}
+
+// Handler returns the endpoint's routing table, usable directly with
+// httptest or an existing server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/topology.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var topo any
+		if s.topology != nil {
+			topo = s.topology()
+		}
+		_ = json.NewEncoder(w).Encode(topo)
+	})
+	mux.HandleFunc("/traces.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.tracer == nil {
+			_, _ = w.Write([]byte(`{"traceEvents":[]}`))
+			return
+		}
+		_ = s.tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (host:port, port 0 picks a free one) and serves the
+// endpoint on a background goroutine until Close.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln = ln
+	s.hs = hs
+	s.mu.Unlock()
+	go func() { _ = hs.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops serving. Safe to call multiple times and before Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	hs := s.hs
+	s.hs = nil
+	s.ln = nil
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}

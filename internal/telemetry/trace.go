@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipes/internal/temporal"
+)
+
+// Span is one hop of a traced element: an operator touched it at WallNano.
+// Event distinguishes the hop kind: "emit" (source published it), "in"
+// (operator consumed it), "out" (operator published a result derived from
+// it), "queue" (it left an inter-operator buffer).
+type Span struct {
+	Op       string        `json:"op"`
+	Event    string        `json:"event"`
+	WallNano int64         `json:"wall_ns"`
+	AppTime  temporal.Time `json:"app_time"`
+}
+
+// Trace is the context carried by one sampled element as it traverses the
+// query graph. Hops append spans; the tracer retains completed traces in a
+// bounded ring for export. A trace is normally advanced by one goroutine
+// at a time (elements flow synchronously through direct hand-offs), but
+// work stealing can move an element between workers, so spans are
+// mutex-guarded.
+type Trace struct {
+	ID uint64
+
+	mu       sync.Mutex
+	spans    []Span
+	lastNano int64
+}
+
+// Hop appends a span for op/event stamped now and returns the nanoseconds
+// elapsed since the previous hop (0 on the first hop) — the inter-hop gap
+// that queue-time histograms record.
+func (t *Trace) Hop(op, event string, appTime temporal.Time) int64 {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	gap := int64(0)
+	if t.lastNano != 0 {
+		gap = now - t.lastNano
+	}
+	t.lastNano = now
+	t.spans = append(t.spans, Span{Op: op, Event: event, WallNano: now, AppTime: appTime})
+	t.mu.Unlock()
+	return gap
+}
+
+// Spans returns a copy of the recorded spans in hop order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// FromElement extracts the trace context carried by e, if any.
+func FromElement(e temporal.Element) *Trace {
+	tr, _ := e.Trace.(*Trace)
+	return tr
+}
+
+// Attach returns a copy of e carrying tr.
+func Attach(e temporal.Element, tr *Trace) temporal.Element {
+	e.Trace = tr
+	return e
+}
+
+// Tracer samples 1-in-every elements for tracing and retains the started
+// traces in a bounded ring buffer (oldest evicted first).
+type Tracer struct {
+	every    uint64
+	capacity int
+
+	seen   atomic.Uint64
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace
+	head int // next slot to overwrite once the ring is full
+	full bool
+}
+
+// NewTracer returns a tracer sampling one element in every (minimum 1) and
+// retaining up to capacity traces (default 256 when <= 0).
+func NewTracer(every int, capacity int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{every: uint64(every), capacity: capacity}
+}
+
+// Every returns the sampling interval N (one element in every N is traced).
+func (tc *Tracer) Every() int { return int(tc.every) }
+
+// MaybeTrace returns a fresh trace for a 1-in-N sampled element, nil
+// otherwise. The atomic counter makes sampling exact across concurrent
+// sources.
+func (tc *Tracer) MaybeTrace() *Trace {
+	if tc.seen.Add(1)%tc.every != 0 {
+		return nil
+	}
+	tr := &Trace{ID: tc.nextID.Add(1)}
+	tc.mu.Lock()
+	if len(tc.ring) < tc.capacity {
+		tc.ring = append(tc.ring, tr)
+	} else {
+		tc.ring[tc.head] = tr
+		tc.head = (tc.head + 1) % tc.capacity
+		tc.full = true
+	}
+	tc.mu.Unlock()
+	return tr
+}
+
+// Sampled returns how many elements were started as traces so far.
+func (tc *Tracer) Sampled() uint64 { return tc.nextID.Load() }
+
+// Traces returns the retained traces, oldest first.
+func (tc *Tracer) Traces() []*Trace {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make([]*Trace, 0, len(tc.ring))
+	if tc.full {
+		out = append(out, tc.ring[tc.head:]...)
+		out = append(out, tc.ring[:tc.head]...)
+	} else {
+		out = append(out, tc.ring...)
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace_event (the about://tracing and Perfetto
+// interchange format). Complete events ("ph":"X") render each hop-to-hop
+// gap as a slice on the trace's own track.
+type chromeEvent struct {
+	Name     string         `json:"name"`
+	Phase    string         `json:"ph"`
+	TS       float64        `json:"ts"`  // microseconds
+	Dur      float64        `json:"dur"` // microseconds
+	PID      int            `json:"pid"`
+	TID      uint64         `json:"tid"`
+	Category string         `json:"cat"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders every retained trace as Chrome trace_event
+// JSON: one track (tid) per traced element, one complete event per hop
+// spanning the gap since the previous hop. Load the output in
+// chrome://tracing or https://ui.perfetto.dev.
+func (tc *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for _, tr := range tc.Traces() {
+		spans := tr.Spans()
+		for i, sp := range spans {
+			start := sp.WallNano
+			dur := int64(0)
+			if i > 0 {
+				start = spans[i-1].WallNano
+				dur = sp.WallNano - start
+			}
+			events = append(events, chromeEvent{
+				Name:     sp.Op + "/" + sp.Event,
+				Phase:    "X",
+				TS:       float64(start) / 1e3,
+				Dur:      float64(dur) / 1e3,
+				PID:      1,
+				TID:      tr.ID,
+				Category: "pipes",
+				Args:     map[string]any{"app_time": sp.AppTime, "trace": tr.ID},
+			})
+		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ns"})
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"pipes/internal/temporal"
+)
+
+func TestTracerSamplingExact(t *testing.T) {
+	tc := NewTracer(4, 0)
+	var traced int
+	for i := 0; i < 100; i++ {
+		if tc.MaybeTrace() != nil {
+			traced++
+		}
+	}
+	if traced != 25 {
+		t.Fatalf("1-in-4 sampling over 100 elements traced %d, want 25", traced)
+	}
+	if tc.Sampled() != 25 {
+		t.Fatalf("Sampled() = %d", tc.Sampled())
+	}
+}
+
+func TestTracerSamplingConcurrent(t *testing.T) {
+	tc := NewTracer(10, 4096)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if tc.MaybeTrace() != nil {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != 800 {
+		t.Fatalf("exact sampling broke under concurrency: %d traces from 8000 elements", total)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tc := NewTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tc.MaybeTrace()
+	}
+	trs := tc.Traces()
+	if len(trs) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(trs))
+	}
+	for i := 1; i < len(trs); i++ {
+		if trs[i].ID <= trs[i-1].ID {
+			t.Fatalf("traces not oldest-first: %d then %d", trs[i-1].ID, trs[i].ID)
+		}
+	}
+	if trs[0].ID != 7 || trs[3].ID != 10 {
+		t.Fatalf("expected traces 7..10 retained, got %d..%d", trs[0].ID, trs[3].ID)
+	}
+}
+
+func TestTraceHopsAndElementAttachment(t *testing.T) {
+	tc := NewTracer(1, 0)
+	tr := tc.MaybeTrace()
+	e := temporal.At(42, 7)
+	if FromElement(e) != nil {
+		t.Fatal("fresh element carries a trace")
+	}
+	e = Attach(e, tr)
+	if FromElement(e) != tr {
+		t.Fatal("attached trace not retrievable")
+	}
+	if gap := tr.Hop("src", "emit", e.Start); gap != 0 {
+		t.Fatalf("first hop gap = %d, want 0", gap)
+	}
+	if gap := tr.Hop("op", "in", e.Start); gap < 0 {
+		t.Fatalf("second hop gap negative: %d", gap)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Op != "src" || spans[1].Event != "in" {
+		t.Fatalf("unexpected spans: %+v", spans)
+	}
+	if spans[1].WallNano < spans[0].WallNano {
+		t.Fatal("span stamps not monotone")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tc := NewTracer(1, 0)
+	tr := tc.MaybeTrace()
+	tr.Hop("src", "emit", 1)
+	tr.Hop("filter", "in", 1)
+	tr.Hop("filter", "out", 1)
+	var buf bytes.Buffer
+	if err := tc.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TID   uint64  `json:"tid"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "src/emit" || doc.TraceEvents[0].Phase != "X" {
+		t.Fatalf("unexpected first event: %+v", doc.TraceEvents[0])
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.TID != tr.ID {
+			t.Fatalf("event on wrong track: %+v", ev)
+		}
+	}
+}

@@ -89,6 +89,16 @@ func (iv Interval) String() string {
 type Element struct {
 	Value any
 	Interval
+
+	// Trace optionally carries an element-level telemetry context
+	// (*telemetry.Trace) for the sampled elements the tracing layer
+	// follows through the graph. It is nil for the overwhelming majority
+	// of elements and is ignored by the operator algebra: operators that
+	// forward an element unchanged (or merely restrict its interval)
+	// preserve it, operators that construct new elements drop it, and the
+	// metadata decorator re-attaches it across such hops. Declared as
+	// `any` so the time model stays dependency free.
+	Trace any
 }
 
 // NewElement returns an element valid during [start, end).
@@ -103,9 +113,10 @@ func At(value any, t Time) Element { return NewElement(value, t, t+1) }
 
 func (e Element) String() string { return fmt.Sprintf("%v@%s", e.Value, e.Interval) }
 
-// WithInterval returns a copy of e restricted to iv.
+// WithInterval returns a copy of e restricted to iv, preserving any
+// attached trace context.
 func (e Element) WithInterval(iv Interval) Element {
-	return Element{Value: e.Value, Interval: iv}
+	return Element{Value: e.Value, Interval: iv, Trace: e.Trace}
 }
 
 // OrderedByStart reports whether the slice is non-decreasing in Start,

@@ -30,6 +30,7 @@ import (
 	"pipes/internal/optimizer"
 	"pipes/internal/pubsub"
 	"pipes/internal/sched"
+	"pipes/internal/telemetry"
 	"pipes/internal/temporal"
 )
 
@@ -111,6 +112,15 @@ type Config struct {
 	// MonitorQueries decorates every newly created query operator with
 	// the secondary-metadata framework.
 	MonitorQueries bool
+	// TelemetryAddr, when non-empty, serves the live telemetry endpoint
+	// (Prometheus /metrics, /topology.json, /traces.json, /debug/pprof)
+	// on this host:port once Start runs (":0" picks a free port; see
+	// TelemetryAddr() for the bound address). Implies MonitorQueries.
+	TelemetryAddr string
+	// TraceEvery samples one element in every N for element-level trace
+	// spans (0 with TelemetryAddr set defaults to 128; negative disables
+	// tracing even when the endpoint is on).
+	TraceEvery int
 }
 
 // DSMS is a prototype data stream management system assembled from the
@@ -128,10 +138,17 @@ type DSMS struct {
 	Memory    *memory.Manager
 	Graph     *pubsub.Graph
 
-	mu       sync.Mutex
-	queries  []*Query
-	monitors []*metadata.Monitored
-	started  bool
+	// Telemetry components (see telemetry.go): the metric registry is
+	// always populated; Tracer is nil unless tracing is enabled.
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	mu        sync.Mutex
+	queries   []*Query
+	monitors  []*metadata.Monitored
+	started   bool
+	tserver   *telemetry.Server
+	telemetry bool
 }
 
 // Query is one registered continuous query.
@@ -149,6 +166,12 @@ func NewDSMS(cfg Config) *DSMS {
 	if cfg.Shedding == nil {
 		cfg.Shedding = memory.DropState()
 	}
+	if cfg.TelemetryAddr != "" {
+		cfg.MonitorQueries = true
+		if cfg.TraceEvery == 0 {
+			cfg.TraceEvery = 128
+		}
+	}
 	cat := optimizer.NewCatalog()
 	d := &DSMS{
 		cfg:       cfg,
@@ -159,20 +182,30 @@ func NewDSMS(cfg Config) *DSMS {
 			Strategy:  cfg.Strategy,
 			BatchSize: cfg.BatchSize,
 		}),
-		Memory: memory.NewManager(cfg.MemoryBudget),
-		Graph:  pubsub.NewGraph(),
+		Memory:    memory.NewManager(cfg.MemoryBudget),
+		Graph:     pubsub.NewGraph(),
+		Registry:  telemetry.NewRegistry(),
+		telemetry: cfg.TelemetryAddr != "",
+	}
+	if cfg.TraceEvery > 0 {
+		d.Tracer = telemetry.NewTracer(cfg.TraceEvery, 0)
 	}
 	if cfg.MonitorQueries {
 		// Decorate every operator the optimizer builds so metadata is
 		// collected inline on both the input and output side (Fig. 3).
 		d.Optimizer.SetDecorator(func(p pubsub.Pipe) pubsub.Pipe {
-			m := metadata.NewMonitored(p)
+			var opts []metadata.Option
+			if d.Tracer != nil {
+				opts = append(opts, metadata.WithTracer(d.Tracer))
+			}
+			m := metadata.NewMonitored(p, opts...)
 			d.mu.Lock()
 			d.monitors = append(d.monitors, m)
 			d.mu.Unlock()
 			return m
 		})
 	}
+	d.registerExports()
 	return d
 }
 
@@ -182,6 +215,9 @@ func NewDSMS(cfg Config) *DSMS {
 func (d *DSMS) RegisterStream(name string, src pubsub.Source, rate float64) {
 	d.Catalog.Register(name, src, rate)
 	d.Graph.AddRoot(src)
+	if d.Tracer != nil {
+		d.instrumentSource(name, src)
+	}
 	if e, ok := src.(pubsub.Emitter); ok {
 		d.Scheduler.Add(sched.NewEmitterTask(e))
 	}
@@ -288,11 +324,15 @@ func (d *DSMS) Monitors() []*metadata.Monitored {
 	return out
 }
 
-// Start launches the scheduler workers driving the registered emitters.
+// Start launches the scheduler workers driving the registered emitters
+// and, with Config.TelemetryAddr set, the telemetry scrape endpoint.
 func (d *DSMS) Start() {
 	d.mu.Lock()
 	d.started = true
 	d.mu.Unlock()
+	if err := d.startTelemetry(); err != nil {
+		panic(fmt.Sprintf("pipes: telemetry endpoint: %v", err))
+	}
 	d.Scheduler.Start()
 }
 
@@ -303,8 +343,17 @@ func (d *DSMS) Wait() {
 	d.Memory.Step()
 }
 
-// Stop aborts the scheduler.
-func (d *DSMS) Stop() { d.Scheduler.Stop() }
+// Stop aborts the scheduler and closes the telemetry endpoint.
+func (d *DSMS) Stop() {
+	d.Scheduler.Stop()
+	d.mu.Lock()
+	srv := d.tserver
+	d.tserver = nil
+	d.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
 
 // Explain renders the live query graph (textual Fig. 2 stand-in).
 func (d *DSMS) Explain() string {

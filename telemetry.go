@@ -1,0 +1,190 @@
+package pipes
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/telemetry"
+)
+
+// This file wires the DSMS runtime components into the live telemetry
+// layer (internal/telemetry): every metadata kind of every monitored
+// operator, the per-operator queue/service-time histograms, the
+// scheduler's batch/steal/contention counters and per-task progress, the
+// memory manager's budget assignments, and a JSON snapshot of the live
+// graph topology — all served over HTTP for remote monitoring
+// (cmd/pipesmon -attach, Prometheus, chrome://tracing, go tool pprof).
+// See OBSERVABILITY.md for the metric inventory and contracts.
+
+// Telemetry re-exports for library users assembling their own engines.
+type (
+	// Histogram is the lock-free latency histogram of the telemetry layer.
+	Histogram = telemetry.Histogram
+	// Tracer samples elements for end-to-end trace spans.
+	Tracer = telemetry.Tracer
+	// Trace is one sampled element's hop record.
+	Trace = telemetry.Trace
+)
+
+// NewHistogram returns an empty latency histogram.
+var NewHistogram = telemetry.NewHistogram
+
+// NewTracer returns a tracer sampling one element in every n.
+var NewTracer = telemetry.NewTracer
+
+// TopologyNode is one node of the topology snapshot.
+type TopologyNode struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// TopologyEdge is one subscription edge of the topology snapshot.
+type TopologyEdge struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Input int    `json:"input"`
+}
+
+// Topology is the JSON document served at /topology.json.
+type Topology struct {
+	Nodes   []TopologyNode `json:"nodes"`
+	Edges   []TopologyEdge `json:"edges"`
+	Queries []string       `json:"queries"`
+}
+
+// Topology snapshots the live query graph.
+func (d *DSMS) Topology() Topology {
+	var t Topology
+	for _, n := range d.Graph.Nodes() {
+		t.Nodes = append(t.Nodes, TopologyNode{Name: n.Name(), Type: fmt.Sprintf("%T", n)})
+	}
+	for _, e := range d.Graph.Edges() {
+		t.Edges = append(t.Edges, TopologyEdge{From: e.From.Name(), To: e.To.Name(), Input: e.Input})
+	}
+	for _, q := range d.Queries() {
+		t.Queries = append(t.Queries, q.Text)
+	}
+	return t
+}
+
+// registerExports populates the registry with collectors over the runtime
+// components. Collectors run at scrape time, so monitors registered after
+// engine construction are picked up automatically.
+func (d *DSMS) registerExports() {
+	// Secondary metadata: every active kind of every monitored operator as
+	// pipes_metadata{op,kind}, plus the latency histograms as
+	// pipes_op_latency_ns{op,phase}.
+	d.Registry.RegisterCollector(func(c *telemetry.Collect) {
+		for _, m := range d.Monitors() {
+			op := m.Inner().Name()
+			for _, k := range m.Kinds() {
+				if v, ok := m.Get(k); ok {
+					c.Gauge("pipes_metadata", telemetry.Labels{"op": op, "kind": string(k)}, v)
+				}
+			}
+			if h := m.ServiceTimeHistogram(); h.Count() > 0 {
+				c.Histogram("pipes_op_latency_ns", telemetry.Labels{"op": op, "phase": "service"}, h)
+			}
+			if h := m.QueueTimeHistogram(); h.Count() > 0 {
+				c.Histogram("pipes_op_latency_ns", telemetry.Labels{"op": op, "phase": "queue"}, h)
+			}
+		}
+	})
+	// Scheduler: contention counters and per-task progress.
+	d.Registry.RegisterCounterSet("pipes_", d.Scheduler.Counters().Snapshot)
+	d.Registry.RegisterCollector(func(c *telemetry.Collect) {
+		for _, ts := range d.Scheduler.Stats() {
+			lb := telemetry.Labels{"task": ts.Name}
+			c.Counter("pipes_task_processed", lb, ts.Processed)
+			c.Gauge("pipes_task_max_backlog", lb, float64(ts.MaxBacklog))
+			c.Counter("pipes_task_stolen_batches", lb, ts.Stolen)
+			done := 0.0
+			if ts.Done {
+				done = 1
+			}
+			c.Gauge("pipes_task_done", lb, done)
+		}
+	})
+	// Memory manager: global budget/usage and per-subscription assignment.
+	d.Registry.RegisterCollector(func(c *telemetry.Collect) {
+		st := d.Memory.Stats()
+		c.Gauge("pipes_memory_budget_bytes", nil, float64(st.Budget))
+		c.Gauge("pipes_memory_usage_bytes", nil, float64(st.TotalUsage))
+		for _, s := range st.Subs {
+			lb := telemetry.Labels{"op": s.Name}
+			c.Gauge("pipes_memory_sub_usage_bytes", lb, float64(s.Usage))
+			c.Gauge("pipes_memory_sub_limit_bytes", lb, float64(s.Limit))
+			c.Counter("pipes_memory_sub_shed_bytes", lb, s.ShedBytes)
+			c.Counter("pipes_memory_sub_shed_events", lb, s.ShedEvents)
+		}
+	})
+	// Engine-level gauges.
+	d.Registry.RegisterCollector(func(c *telemetry.Collect) {
+		c.Gauge("pipes_graph_nodes", nil, float64(len(d.Graph.Nodes())))
+		c.Gauge("pipes_queries", nil, float64(len(d.Queries())))
+		c.Gauge("pipes_goroutines", nil, float64(runtime.NumGoroutine()))
+		if d.Tracer != nil {
+			c.Counter("pipes_traces_sampled", nil, int64(d.Tracer.Sampled()))
+			c.Gauge("pipes_trace_every", nil, float64(d.Tracer.Every()))
+		}
+	})
+}
+
+// instrumentSource taps a registered root source's dispatch path: each
+// published element passes the tracer's 1-in-N sampler, and sampled
+// elements leave with a trace context whose first span is the source's
+// "emit" hop.
+func (d *DSMS) instrumentSource(name string, src pubsub.Source) {
+	hooked, ok := src.(interface{ SetTransferHook(pubsub.TransferHook) })
+	if !ok {
+		return
+	}
+	tracer := d.Tracer
+	hooked.SetTransferHook(func(e Element) Element {
+		if tr := tracer.MaybeTrace(); tr != nil {
+			tr.Hop(name, "emit", e.Start)
+			e = telemetry.Attach(e, tr)
+		}
+		return e
+	})
+}
+
+// startTelemetry binds Config.TelemetryAddr and serves the endpoint; a
+// no-op when telemetry is off.
+func (d *DSMS) startTelemetry() error {
+	if !d.telemetry {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tserver != nil {
+		return nil
+	}
+	srv := telemetry.NewServer(d.Registry, func() any { return d.Topology() }, d.Tracer)
+	if err := srv.Serve(d.cfg.TelemetryAddr); err != nil {
+		return err
+	}
+	d.tserver = srv
+	return nil
+}
+
+// TelemetryAddr returns the bound address of the live telemetry endpoint
+// ("" when disabled or before Start). With Config.TelemetryAddr ":0" this
+// is where the free port landed.
+func (d *DSMS) TelemetryAddr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tserver == nil {
+		return ""
+	}
+	return d.tserver.Addr()
+}
+
+// TelemetryHandler returns the endpoint's HTTP handler without binding a
+// socket — the hook for embedding the scrape surface into an existing
+// server or an httptest harness.
+func (d *DSMS) TelemetryHandler() http.Handler {
+	return telemetry.NewServer(d.Registry, func() any { return d.Topology() }, d.Tracer).Handler()
+}

@@ -1,0 +1,164 @@
+package pipes
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pipes/internal/telemetry"
+	"pipes/internal/traffic"
+)
+
+// runTelemetryWorkload drives the traffic scenario on a telemetry-enabled
+// engine and returns the completed DSMS (endpoint still addressable via
+// TelemetryHandler).
+func runTelemetryWorkload(t *testing.T, cfg Config) *DSMS {
+	t.Helper()
+	gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: 10_000})
+	dsms := NewDSMS(cfg)
+	dsms.RegisterStream("traffic", gen.Source("traffic"), 1000)
+	q, err := dsms.RegisterQuery(traffic.QueryAvgHOVSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewCounter("results", 1)
+	if err := q.Subscribe(out); err != nil {
+		t.Fatal(err)
+	}
+	dsms.Start()
+	dsms.Wait()
+	out.Wait()
+	if out.Count() == 0 {
+		t.Fatal("workload produced no results")
+	}
+	t.Cleanup(dsms.Stop)
+	return dsms
+}
+
+// TestScrapeEndpoint runs the traffic workload with tracing on and
+// asserts the /metrics exposition parses and contains the per-operator
+// queue/service-time histograms and every metadata kind the monitors
+// report, plus topology, traces and pprof endpoints.
+func TestScrapeEndpoint(t *testing.T) {
+	dsms := runTelemetryWorkload(t, Config{Workers: 2, MonitorQueries: true, TraceEvery: 16})
+	h := dsms.TelemetryHandler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics returned %d", rec.Code)
+	}
+	metrics, err := telemetry.ParsePrometheus(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("Prometheus exposition does not parse: %v", err)
+	}
+
+	ops := map[string]bool{}
+	kindsSeen := map[string]bool{}
+	phases := map[string]bool{}
+	histCounts := map[string]float64{}
+	for _, m := range metrics {
+		switch m.Name {
+		case "pipes_metadata":
+			ops[m.Label("op")] = true
+			kindsSeen[m.Label("kind")] = true
+		case "pipes_op_latency_ns_count":
+			phases[m.Label("phase")] = true
+			histCounts[m.Label("op")+"/"+m.Label("phase")] += m.Value
+		}
+	}
+	if len(ops) == 0 {
+		t.Fatal("no monitored operators exported")
+	}
+	for _, k := range []string{"input_count", "output_count", "selectivity", "input_rate",
+		"processing_cost_ns", "service_time_p50_ns", "service_time_p99_ns"} {
+		if !kindsSeen[k] {
+			t.Errorf("metadata kind %q missing from scrape", k)
+		}
+	}
+	if !phases["service"] {
+		t.Fatal("no service-time histograms exported")
+	}
+	if !phases["queue"] {
+		t.Fatal("no queue-time histograms exported (tracing should feed them)")
+	}
+	for op, n := range histCounts {
+		if n == 0 {
+			t.Errorf("histogram %s exported with zero observations", op)
+		}
+	}
+	var sawSched, sawMemory bool
+	for _, m := range metrics {
+		if strings.HasPrefix(m.Name, "pipes_sched_") {
+			sawSched = true
+		}
+		if strings.HasPrefix(m.Name, "pipes_memory_") {
+			sawMemory = true
+		}
+	}
+	if !sawSched || !sawMemory {
+		t.Fatalf("scheduler (%v) or memory (%v) metrics missing", sawSched, sawMemory)
+	}
+
+	var topo Topology
+	if rec := get("/topology.json"); rec.Code != 200 {
+		t.Fatalf("/topology.json returned %d", rec.Code)
+	} else if err := json.Unmarshal(rec.Body.Bytes(), &topo); err != nil {
+		t.Fatalf("topology is not valid JSON: %v", err)
+	}
+	if len(topo.Nodes) == 0 || len(topo.Edges) == 0 || len(topo.Queries) != 1 {
+		t.Fatalf("topology incomplete: %d nodes %d edges %d queries",
+			len(topo.Nodes), len(topo.Edges), len(topo.Queries))
+	}
+
+	if rec := get("/traces.json"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "traceEvents") {
+		t.Fatalf("/traces.json: %d %q", rec.Code, rec.Body.String()[:min(rec.Body.Len(), 120)])
+	}
+	if rec := get("/debug/pprof/goroutine?debug=1"); rec.Code != 200 {
+		t.Fatalf("/debug/pprof/goroutine returned %d", rec.Code)
+	}
+}
+
+// TestTelemetryAddrServesLive binds a real socket via Config.TelemetryAddr
+// and scrapes it over HTTP while the engine exists — the remote-monitoring
+// path pipesmon -attach uses.
+func TestTelemetryAddrServesLive(t *testing.T) {
+	dsms := runTelemetryWorkload(t, Config{Workers: 1, TelemetryAddr: "127.0.0.1:0"})
+	addr := dsms.TelemetryAddr()
+	if addr == "" {
+		t.Fatal("telemetry endpoint did not bind")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	metrics, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampled float64
+	for _, m := range metrics {
+		if m.Name == "pipes_traces_sampled" {
+			sampled = m.Value
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("TelemetryAddr should imply tracing; no traces sampled")
+	}
+	dsms.Stop()
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("endpoint still serving after Stop")
+	}
+}
