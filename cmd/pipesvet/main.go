@@ -1,0 +1,22 @@
+// Command pipesvet is the PIPES vettool: a unitchecker binary that runs
+// the internal/analysis suite under the standard go vet driver.
+//
+// Usage:
+//
+//	go build -o /tmp/pipesvet ./cmd/pipesvet
+//	go vet -vettool=/tmp/pipesvet ./...
+//
+// Each analyzer can be toggled with the usual vet flags, e.g.
+// `-lockorder=false`. See STATIC_ANALYSIS.md for the rules the suite
+// enforces and how to add a new analyzer.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	pipesanalysis "pipes/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(pipesanalysis.Analyzers()...)
+}

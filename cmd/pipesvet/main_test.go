@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd builds the pipesvet binary and runs it via
+// `go vet -vettool` over a scratch module seeded with exactly one
+// violation per analyzer, asserting every analyzer fires exactly once.
+// This is the integration seam the unit fixtures cannot cover: the
+// unitchecker protocol, suffix-based package scoping, and the CI
+// invocation all go through this path.
+func TestVettoolEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	tmp := t.TempDir()
+
+	vettool := filepath.Join(tmp, "pipesvet")
+	build := exec.Command("go", "build", "-o", vettool, "pipes/cmd/pipesvet")
+	build.Env = offlineEnv()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pipesvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "vetfixture")
+	writeFixtureModule(t, mod)
+
+	vet := exec.Command("go", "vet", "-vettool="+vettool, "-json", "./...")
+	vet.Dir = mod
+	vet.Env = offlineEnv()
+	out, err := vet.CombinedOutput()
+	if err != nil {
+		// In -json mode diagnostics do not fail the run; an error here is
+		// a broken fixture or tool crash.
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+
+	counts := countDiagnostics(t, out)
+	want := []string{"hotpathclock", "lockorder", "nogoroutine", "sealedsub", "traceslot"}
+	for _, name := range want {
+		if counts[name] != 1 {
+			t.Errorf("analyzer %s fired %d times, want exactly 1\noutput:\n%s",
+				name, counts[name], out)
+		}
+	}
+	for name, n := range counts {
+		found := false
+		for _, w := range want {
+			if w == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected analyzer %s fired %d times", name, n)
+		}
+	}
+}
+
+// offlineEnv returns the environment for child go commands with all
+// network access disabled: everything the fixture needs is local.
+func offlineEnv() []string {
+	return append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod", "GOWORK=off")
+}
+
+// countDiagnostics parses `go vet -json` output: a stream of JSON
+// objects {pkg: {analyzer: [diagnostics]}} interleaved with `# pkg`
+// comment lines.
+func countDiagnostics(t *testing.T, out []byte) map[string]int {
+	counts := map[string]int{}
+	dec := json.NewDecoder(strings.NewReader(stripComments(string(out))))
+	for dec.More() {
+		var byPkg map[string]map[string][]struct {
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&byPkg); err != nil {
+			t.Fatalf("parsing vet -json output: %v\n%s", err, out)
+		}
+		for _, byAnalyzer := range byPkg {
+			for name, diags := range byAnalyzer {
+				counts[name] += len(diags)
+			}
+		}
+	}
+	return counts
+}
+
+func stripComments(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// writeFixtureModule lays out a minimal module whose package paths end
+// in the suffixes each analyzer scopes to, with one seeded violation
+// per analyzer and enough clean code to prove the negatives compile.
+func writeFixtureModule(t *testing.T, dir string) {
+	files := map[string]string{
+		"go.mod": "module vetfixture\n\ngo 1.24\n",
+
+		// temporal stub: traceslot matches Element literals and
+		// NewElement calls by package-path suffix.
+		"temporal/temporal.go": `package temporal
+
+type Interval struct{ Start, End int64 }
+
+type Element struct {
+	Value any
+	Interval
+	Trace any
+}
+
+func NewElement(value any, start, end int64) Element {
+	return Element{Value: value, Interval: Interval{start, end}}
+}
+
+func Derive(value any, iv Interval, from ...Element) Element {
+	e := Element{Value: value, Interval: iv}
+	for _, f := range from {
+		if f.Trace != nil {
+			e.Trace = f.Trace
+			break
+		}
+	}
+	return e
+}
+`,
+
+		// sched stub: sealedsub keys on a Scheduler type in a package
+		// whose path ends in /sched.
+		"sched/sched.go": `package sched
+
+type Scheduler struct{ started bool }
+
+func New() *Scheduler           { return &Scheduler{} }
+func (s *Scheduler) Start()     { s.started = true }
+func (s *Scheduler) Add(n any)  {}
+`,
+
+		// ops: one traceslot violation, one hotpathclock violation, one
+		// nogoroutine violation — plus clean derivations proving the
+		// analyzers do not over-fire.
+		"ops/ops.go": `package ops
+
+import (
+	"time"
+
+	"vetfixture/temporal"
+)
+
+type Map struct{ out []temporal.Element }
+
+// Process is a hot root: the raw time.Now inside is the seeded
+// hotpathclock violation.
+func (m *Map) Process(e temporal.Element, _ int) {
+	_ = time.Now().UnixNano()
+	// Seeded traceslot violation: fresh element, trace dropped.
+	m.out = append(m.out, temporal.Element{Value: e.Value, Interval: e.Interval})
+	// Clean: Derive propagates the slot.
+	m.out = append(m.out, temporal.Derive(e.Value, e.Interval, e))
+}
+
+// Spawn carries the seeded nogoroutine violation.
+func (m *Map) Spawn() {
+	go func() {}()
+}
+`,
+
+		// store: lockorder violation via lockclass directives.
+		"store/store.go": `package store
+
+import "sync"
+
+type Cache struct {
+	//pipesvet:lockclass stats
+	statsMu sync.Mutex
+	//pipesvet:lockclass inner
+	procMu sync.Mutex
+}
+
+func (c *Cache) Bad() {
+	c.statsMu.Lock()
+	c.procMu.Lock()
+	c.procMu.Unlock()
+	c.statsMu.Unlock()
+}
+`,
+
+		// app: sealedsub violation — registration after Start.
+		"app/app.go": `package app
+
+import "vetfixture/sched"
+
+func Wire() {
+	s := sched.New()
+	s.Start()
+	s.Add(1)
+}
+`,
+	}
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

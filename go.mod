@@ -1,3 +1,7 @@
 module pipes
 
-go 1.22
+go 1.24
+
+require golang.org/x/tools v0.1.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,28 @@
+// Package analysis aggregates the pipesvet analyzer suite: the
+// go/analysis passes that mechanically enforce the PIPES concurrency and
+// hot-path contracts written down in CONCURRENCY.md and OBSERVABILITY.md.
+// Each rule those documents marks "mechanically enforced by
+// pipesvet:<name>" corresponds to one analyzer here; STATIC_ANALYSIS.md
+// documents the suite and how to extend it.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"pipes/internal/analysis/hotpathclock"
+	"pipes/internal/analysis/lockorder"
+	"pipes/internal/analysis/nogoroutine"
+	"pipes/internal/analysis/sealedsub"
+	"pipes/internal/analysis/traceslot"
+)
+
+// Analyzers returns the full pipesvet suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpathclock.Analyzer,
+		lockorder.Analyzer,
+		nogoroutine.Analyzer,
+		sealedsub.Analyzer,
+		traceslot.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package hotpathclock_test
+
+import (
+	"testing"
+
+	"pipes/internal/analysis/analyzertest"
+	"pipes/internal/analysis/hotpathclock"
+)
+
+func TestHotpathclock(t *testing.T) {
+	analyzertest.Run(t, "testdata", hotpathclock.Analyzer, "ops")
+}

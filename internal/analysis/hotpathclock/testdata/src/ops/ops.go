@@ -1,0 +1,47 @@
+// Package ops exercises the hot-path clock contract: Process/Transfer/
+// Drain and everything statically reachable from them must not read the
+// wall clock outside the sanctioned patterns.
+package ops
+
+import "time"
+
+// maintainEvery is the maintenance stride (name-matched by the guard
+// exemption, as in internal/metadata).
+const maintainEvery = 16
+
+type op struct {
+	n int
+}
+
+func (o *op) Process(x int) {
+	_ = time.Now() // want `raw time.Now on the hot path`
+	o.helper()
+}
+
+func (o *op) helper() {
+	_ = time.Since(time.Time{}) // want `raw time.Since on the hot path`
+}
+
+func (o *op) Drain(max int) int {
+	o.n++
+	if o.n%maintainEvery == 0 {
+		// Amortised under the stride: sanctioned.
+		_ = time.Now()
+	}
+	//pipesvet:allow hotpathclock sanctioned one-off read for this fixture
+	_ = time.Now()
+	return 0
+}
+
+func (o *op) Transfer(x int) {
+	_ = time.Now() // want `raw time.Now on the hot path`
+}
+
+// sysClock is a Clock implementation: the injection point for real time,
+// exempt by construction.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time { return time.Now() }
+
+// cold is not reachable from any hot root: unrestricted.
+func cold() { _ = time.Now() }

@@ -1,0 +1,69 @@
+// Package metadata exercises the built-in lock-class table: Monitored.mu
+// is a stats-class leaf lock; nothing may be acquired beneath it.
+package metadata
+
+import (
+	"sync"
+
+	"pubsub"
+)
+
+// Monitored mirrors the decorator shape: a stats mutex plus a delegated
+// inner node.
+type Monitored struct {
+	mu    sync.Mutex
+	inner pubsub.Pipe
+	pb    pubsub.PipeBase
+	kinds map[string]bool
+}
+
+// BadDynamic is the PR 2 ABBA shape: an interface call under the stats
+// mutex, against a callee that holds its own lock while flushing back.
+func (m *Monitored) BadDynamic() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Len() // want `dynamic call m.inner.Len while holding stats-class lock m.mu`
+}
+
+// BadDirect acquires an inner-class lock inside a stats region.
+func (m *Monitored) BadDirect() {
+	m.mu.Lock()
+	m.pb.ProcMu.Lock() // want `acquiring inner-class lock m.pb.ProcMu while holding stats-class lock m.mu`
+	m.pb.ProcMu.Unlock()
+	m.mu.Unlock()
+}
+
+// BadTransitive hides the inner acquisition one call deep; the
+// call-graph walk finds it.
+func (m *Monitored) BadTransitive() {
+	m.mu.Lock()
+	m.lockInner() // want `call to lockInner while holding stats-class lock m.mu: it transitively acquires`
+	m.mu.Unlock()
+}
+
+func (m *Monitored) lockInner() {
+	m.pb.ProcMu.Lock()
+	m.pb.ProcMu.Unlock()
+}
+
+// Good is the fixed Get shape: read the activation under the stats
+// mutex, release it, then delegate.
+func (m *Monitored) Good() int {
+	m.mu.Lock()
+	active := m.kinds["queue_len"]
+	m.mu.Unlock()
+	if !active {
+		return 0
+	}
+	return m.inner.Len()
+}
+
+// GoodInnerFirst follows the documented order: inner lock first, stats
+// leaf lock inside it.
+func (m *Monitored) GoodInnerFirst() {
+	m.pb.ProcMu.Lock()
+	m.mu.Lock()
+	m.kinds["x"] = true
+	m.mu.Unlock()
+	m.pb.ProcMu.Unlock()
+}

@@ -1,0 +1,15 @@
+// Package pubsub is a minimal stand-in for pipes/internal/pubsub: the
+// built-in lock-class table matches PipeBase.ProcMu here by suffix.
+package pubsub
+
+import "sync"
+
+// PipeBase carries the inner-class processing mutex.
+type PipeBase struct {
+	ProcMu sync.Mutex
+}
+
+// Pipe is the inner-node interface a decorator delegates to.
+type Pipe interface {
+	Len() int
+}

@@ -1,0 +1,41 @@
+// Package store exercises the //pipesvet:lockclass directives: code
+// outside the built-in table can opt its mutexes into the hierarchy.
+package store
+
+import "sync"
+
+// Cache declares its own two-level hierarchy.
+type Cache struct {
+	//pipesvet:lockclass stats
+	statsMu sync.Mutex
+	//pipesvet:lockclass inner
+	procMu sync.Mutex
+	n      int
+}
+
+// Bad inverts the declared order.
+func (c *Cache) Bad() {
+	c.statsMu.Lock()
+	c.procMu.Lock() // want `acquiring inner-class lock c.procMu while holding stats-class lock c.statsMu`
+	c.n++
+	c.procMu.Unlock()
+	c.statsMu.Unlock()
+}
+
+// Good nests in the declared direction.
+func (c *Cache) Good() {
+	c.procMu.Lock()
+	c.statsMu.Lock()
+	c.n++
+	c.statsMu.Unlock()
+	c.procMu.Unlock()
+}
+
+// Allowed documents a reviewed exception.
+func (c *Cache) Allowed() {
+	c.statsMu.Lock()
+	//pipesvet:allow lockorder reviewed: fixture-only exception
+	c.procMu.Lock()
+	c.procMu.Unlock()
+	c.statsMu.Unlock()
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"pipes/internal/analysis/analyzertest"
+	"pipes/internal/analysis/nogoroutine"
+)
+
+func TestNogoroutine(t *testing.T) {
+	analyzertest.Run(t, "testdata", nogoroutine.Analyzer, "ops", "sched")
+}

@@ -1,0 +1,28 @@
+// Package ops exercises the single-owner rule: no ad-hoc concurrency
+// inside operator packages.
+package ops
+
+func bad(ch chan int) {
+	go func() {}() // want `goroutine launched inside an operator package`
+	ch <- 1        // want `channel send inside an operator package`
+	<-ch           // want `channel receive inside an operator package`
+	select {}      // want `select statement inside an operator package`
+}
+
+func badRange(ch chan int) {
+	for range ch { // want `range over a channel inside an operator package`
+	}
+}
+
+func good(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func sanctioned() {
+	//pipesvet:allow nogoroutine fixture-sanctioned bridge goroutine
+	go func() {}()
+}

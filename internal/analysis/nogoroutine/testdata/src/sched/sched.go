@@ -1,0 +1,11 @@
+// Package sched is the sanctioned concurrency boundary and outside the
+// nogoroutine scope: goroutines and channels are its job.
+package sched
+
+func workers(n int) chan struct{} {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	return done
+}

@@ -1,0 +1,12 @@
+package sealedsub_test
+
+import (
+	"testing"
+
+	"pipes/internal/analysis/analyzertest"
+	"pipes/internal/analysis/sealedsub"
+)
+
+func TestSealedsub(t *testing.T) {
+	analyzertest.Run(t, "testdata", sealedsub.Analyzer, "app")
+}

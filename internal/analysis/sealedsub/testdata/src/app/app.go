@@ -1,0 +1,37 @@
+// Package app exercises the registration-sealing rule: no Add/AddTo or
+// Subscribe below sched.Start in the same function.
+package app
+
+import (
+	"pubsub"
+	"sched"
+)
+
+func bad() {
+	s := sched.New()
+	var src pubsub.SourceBase
+	s.Start()
+	s.Add(nil)            // want `scheduler registration after Start`
+	s.AddTo(0, nil)       // want `scheduler registration after Start`
+	src.Subscribe(nil, 0) // want `graph topology change after sched.Start`
+	s.Stop()
+}
+
+func good() {
+	s := sched.New()
+	var src pubsub.SourceBase
+	s.Add(nil)
+	src.Subscribe(nil, 0)
+	s.Start()
+	//pipesvet:allow sealedsub dynamic plan change, exercised deliberately
+	src.Subscribe(nil, 0)
+	s.Stop()
+}
+
+// noStart never starts a scheduler: registration order is free.
+func noStart() {
+	s := sched.New()
+	var src pubsub.SourceBase
+	src.Subscribe(nil, 0)
+	s.Add(nil)
+}

@@ -1,0 +1,15 @@
+// Package pubsub is a minimal stand-in for pipes/internal/pubsub,
+// matched by package-path suffix.
+package pubsub
+
+// Sink consumes elements.
+type Sink interface{ Process(x int) }
+
+// SourceBase maintains a subscriber list.
+type SourceBase struct{ subs []Sink }
+
+// Subscribe attaches a sink.
+func (s *SourceBase) Subscribe(snk Sink, input int) { s.subs = append(s.subs, snk) }
+
+// Unsubscribe detaches a sink.
+func (s *SourceBase) Unsubscribe(snk Sink, input int) {}

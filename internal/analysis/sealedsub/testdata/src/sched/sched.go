@@ -1,0 +1,24 @@
+// Package sched is a minimal stand-in for pipes/internal/sched, matched
+// by package-path suffix.
+package sched
+
+// Task is a schedulable unit.
+type Task interface{ RunBatch(max int) int }
+
+// Scheduler seals registration at Start.
+type Scheduler struct{ started bool }
+
+// New returns a stopped scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Add registers a task; panics after Start.
+func (s *Scheduler) Add(t Task) {}
+
+// AddTo registers a task pinned to a worker; panics after Start.
+func (s *Scheduler) AddTo(worker int, t Task) {}
+
+// Start launches the workers and seals registration.
+func (s *Scheduler) Start() { s.started = true }
+
+// Stop halts the workers.
+func (s *Scheduler) Stop() {}

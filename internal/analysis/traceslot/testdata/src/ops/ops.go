@@ -1,0 +1,23 @@
+// Package ops exercises the traceslot contract: element construction in
+// an operator package must say what happens to the trace slot.
+package ops
+
+import "temporal"
+
+func bad(e temporal.Element) temporal.Element {
+	out := temporal.Element{Value: e.Value, Interval: e.Interval} // want `without a Trace field`
+	_ = temporal.NewElement(e.Value, e.Start, e.End)              // want `temporal.NewElement zeroes the Trace slot`
+	_ = temporal.At(e.Value, e.Start)                             // want `temporal.At zeroes the Trace slot`
+	return out
+}
+
+func good(e temporal.Element) temporal.Element {
+	out := temporal.Element{Value: e.Value, Interval: e.Interval, Trace: e.Trace}
+	_ = temporal.Derive(e.Value, e.Interval, e)
+	_ = e.WithInterval(temporal.NewInterval(e.Start, e.End))
+	// An explicit nil is a reviewed drop, not a silent one.
+	_ = temporal.Element{Value: e.Value, Interval: e.Interval, Trace: nil}
+	//pipesvet:allow traceslot sanctioned construction for this fixture
+	_ = temporal.NewElement(e.Value, e.Start, e.End)
+	return out
+}

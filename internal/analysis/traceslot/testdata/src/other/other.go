@@ -1,0 +1,10 @@
+// Package other is outside the traceslot scope (ops/aggregate): element
+// construction here is unrestricted.
+package other
+
+import "temporal"
+
+func fine(e temporal.Element) temporal.Element {
+	_ = temporal.Element{Value: e.Value, Interval: e.Interval}
+	return temporal.NewElement(e.Value, e.Start, e.End)
+}

@@ -1,0 +1,44 @@
+// Package temporal is a minimal stand-in for pipes/internal/temporal:
+// the analyzer matches it by package-path suffix.
+package temporal
+
+// Time is a discrete timestamp.
+type Time int64
+
+// Interval is a half-open validity interval.
+type Interval struct{ Start, End Time }
+
+// NewInterval returns [start, end).
+func NewInterval(start, end Time) Interval { return Interval{Start: start, End: end} }
+
+// Element pairs a value with its validity interval and a trace slot.
+type Element struct {
+	Value any
+	Interval
+	Trace any
+}
+
+// NewElement returns an element with a nil trace.
+func NewElement(value any, start, end Time) Element {
+	return Element{Value: value, Interval: Interval{Start: start, End: end}}
+}
+
+// At returns a chronon element.
+func At(value any, t Time) Element { return NewElement(value, t, t+1) }
+
+// Derive returns an element carrying the first non-nil trace among from.
+func Derive(value any, iv Interval, from ...Element) Element {
+	e := Element{Value: value, Interval: iv}
+	for _, f := range from {
+		if f.Trace != nil {
+			e.Trace = f.Trace
+			break
+		}
+	}
+	return e
+}
+
+// WithInterval returns a copy restricted to iv, preserving the trace.
+func (e Element) WithInterval(iv Interval) Element {
+	return Element{Value: e.Value, Interval: iv, Trace: e.Trace}
+}

@@ -1,0 +1,12 @@
+package traceslot_test
+
+import (
+	"testing"
+
+	"pipes/internal/analysis/analyzertest"
+	"pipes/internal/analysis/traceslot"
+)
+
+func TestTraceslot(t *testing.T) {
+	analyzertest.Run(t, "testdata", traceslot.Analyzer, "ops", "other")
+}

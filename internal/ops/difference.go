@@ -29,6 +29,7 @@ type diffState struct {
 	value  any // representative output value for the key
 	counts [2]int
 	lb     temporal.Time
+	trace  any // trace slot of the latest traced contributor
 }
 
 type diffExpiry struct {
@@ -119,6 +120,9 @@ func (d *Difference) apply(input int, e temporal.Element) {
 		st.lb = e.Start
 	}
 	st.counts[input]++
+	if e.Trace != nil {
+		st.trace = e.Trace
+	}
 	d.expiry.Push(diffExpiry{end: e.End, key: k, input: input})
 	d.lows.Push(lowEntry{lb: st.lb, key: k})
 }
@@ -152,7 +156,7 @@ func (d *Difference) advance(t temporal.Time) {
 func (d *Difference) emitSpan(st *diffState, to temporal.Time) {
 	m := st.counts[0] - st.counts[1]
 	for i := 0; i < m; i++ {
-		d.out.add(temporal.Element{Value: st.value, Interval: temporal.NewInterval(st.lb, to)})
+		d.out.add(temporal.Element{Value: st.value, Interval: temporal.NewInterval(st.lb, to), Trace: st.trace})
 	}
 }
 

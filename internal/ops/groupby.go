@@ -43,6 +43,7 @@ type group struct {
 	agg    aggregate.Aggregate
 	inv    aggregate.Invertible // non-nil fast path
 	lb     temporal.Time        // left boundary of the open span
+	trace  any                  // trace slot of the latest traced contributor
 }
 
 type expiryEvent struct {
@@ -115,6 +116,9 @@ func (g *GroupBy) Process(e temporal.Element, _ int) {
 	grp.active.Push(e)
 	grp.agg.Insert(e.Value)
 	grp.lb = e.Start
+	if e.Trace != nil {
+		grp.trace = e.Trace
+	}
 	g.expiry.Push(expiryEvent{end: e.End, key: k})
 	g.lows.Push(lowEntry{lb: grp.lb, key: k})
 
@@ -176,6 +180,7 @@ func (g *GroupBy) emitSpan(key any, grp *group, to temporal.Time) {
 	g.out.add(temporal.Element{
 		Value:    g.outFn(key, grp.agg.Value()),
 		Interval: temporal.NewInterval(grp.lb, to),
+		Trace:    grp.trace,
 	})
 }
 

@@ -101,6 +101,9 @@ func (in *Intersect) apply(input int, e temporal.Element) {
 		st.lb = e.Start
 	}
 	st.counts[input]++
+	if e.Trace != nil {
+		st.trace = e.Trace
+	}
 	in.expiry.Push(diffExpiry{end: e.End, key: k, input: input})
 	in.lows.Push(lowEntry{lb: st.lb, key: k})
 }
@@ -135,7 +138,7 @@ func (in *Intersect) emitSpan(st *diffState, to temporal.Time) {
 		m = st.counts[1]
 	}
 	for i := 0; i < m; i++ {
-		in.out.add(temporal.Element{Value: st.value, Interval: temporal.NewInterval(st.lb, to)})
+		in.out.add(temporal.Element{Value: st.value, Interval: temporal.NewInterval(st.lb, to), Trace: st.trace})
 	}
 }
 

@@ -107,7 +107,7 @@ func (j *Join) Process(e temporal.Element, input int) {
 		if !ok {
 			return
 		}
-		j.out.add(temporal.Element{Value: j.combine(l.Value, r.Value), Interval: iv})
+		j.out.add(temporal.Derive(j.combine(l.Value, r.Value), iv, l, r))
 	})
 	if !j.inDone[opp] || j.areas[opp].Len() > 0 {
 		// Insert only while results remain possible: once the opposite

@@ -74,7 +74,7 @@ func (m *MJoin) expand(probe temporal.Element, origin, i int, partial []any, iv 
 	if i == len(m.areas) {
 		tuple := make([]any, len(partial))
 		copy(tuple, partial)
-		m.out.add(temporal.Element{Value: tuple, Interval: iv})
+		m.out.add(temporal.Derive(tuple, iv, probe))
 		return
 	}
 	if i == origin {

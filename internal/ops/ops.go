@@ -76,7 +76,7 @@ func NewMap(name string, fn Mapper) *Map {
 func (m *Map) Process(e temporal.Element, _ int) {
 	m.ProcMu.Lock()
 	defer m.ProcMu.Unlock()
-	m.Transfer(temporal.Element{Value: m.fn(e.Value), Interval: e.Interval})
+	m.Transfer(temporal.Derive(m.fn(e.Value), e.Interval, e))
 }
 
 // orderBuffer restores the stream-order invariant for operators whose raw

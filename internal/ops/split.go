@@ -37,7 +37,7 @@ func (s *Split) Process(e temporal.Element, _ int) {
 		if next > e.End || next < cur { // clamp tail and MaxTime overflow
 			next = e.End
 		}
-		s.out.add(temporal.NewElement(e.Value, cur, next))
+		s.out.add(e.WithInterval(temporal.NewInterval(cur, next)))
 		cur = next
 	}
 	s.out.observe(0, e.Start)
@@ -105,7 +105,7 @@ func (s *Sample) emitBoundaries(limit temporal.Time) {
 		}
 		for _, e := range s.active.Items() {
 			if e.Start <= b {
-				s.Transfer(temporal.NewElement(e.Value, b, b+s.every))
+				s.Transfer(e.WithInterval(temporal.NewInterval(b, b+s.every)))
 			}
 		}
 		s.nextB += s.every

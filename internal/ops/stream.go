@@ -21,7 +21,7 @@ func NewIStream(name string) *IStream {
 func (s *IStream) Process(e temporal.Element, _ int) {
 	s.ProcMu.Lock()
 	defer s.ProcMu.Unlock()
-	s.Transfer(temporal.NewElement(e.Value, e.Start, e.Start+1))
+	s.Transfer(e.WithInterval(temporal.NewInterval(e.Start, e.Start+1)))
 }
 
 // DStream emits a chronon element whenever a value leaves the snapshot —
@@ -45,7 +45,7 @@ func (d *DStream) Process(e temporal.Element, _ int) {
 	d.ProcMu.Lock()
 	defer d.ProcMu.Unlock()
 	if e.End != temporal.MaxTime {
-		d.out.add(temporal.NewElement(e.Value, e.End, e.End+1))
+		d.out.add(e.WithInterval(temporal.NewInterval(e.End, e.End+1)))
 	}
 	d.out.observe(0, e.Start)
 	d.out.release(d.out.watermark(), d.Transfer)

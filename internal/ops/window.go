@@ -55,7 +55,7 @@ func (w *TimeWindow) Process(e temporal.Element, _ int) {
 	if end < e.Start { // overflow
 		end = temporal.MaxTime
 	}
-	w.Transfer(temporal.NewElement(e.Value, e.Start, end))
+	w.Transfer(e.WithInterval(temporal.NewInterval(e.Start, end)))
 }
 
 // UnboundedWindow gives every element unbounded validity (CQL: RANGE
@@ -73,7 +73,7 @@ func NewUnboundedWindow(name string) *UnboundedWindow {
 func (w *UnboundedWindow) Process(e temporal.Element, _ int) {
 	w.ProcMu.Lock()
 	defer w.ProcMu.Unlock()
-	w.Transfer(temporal.NewElement(e.Value, e.Start, temporal.MaxTime))
+	w.Transfer(e.WithInterval(temporal.NewInterval(e.Start, temporal.MaxTime)))
 }
 
 // NowWindow restricts each element to the single instant of its arrival
@@ -91,7 +91,7 @@ func NewNowWindow(name string) *NowWindow {
 func (w *NowWindow) Process(e temporal.Element, _ int) {
 	w.ProcMu.Lock()
 	defer w.ProcMu.Unlock()
-	w.Transfer(temporal.NewElement(e.Value, e.Start, e.Start+1))
+	w.Transfer(e.WithInterval(temporal.NewInterval(e.Start, e.Start+1)))
 }
 
 // TumblingWindow assigns each element to its fixed, gap-free time granule
@@ -117,7 +117,7 @@ func (w *TumblingWindow) Process(e temporal.Element, _ int) {
 	w.ProcMu.Lock()
 	defer w.ProcMu.Unlock()
 	start := floorDiv(e.Start, w.size) * w.size
-	w.Transfer(temporal.NewElement(e.Value, start, start+w.size))
+	w.Transfer(e.WithInterval(temporal.NewInterval(start, start+w.size)))
 }
 
 func floorDiv(a, b temporal.Time) temporal.Time {
@@ -158,7 +158,7 @@ func (w *CountWindow) Process(e temporal.Element, _ int) {
 		if end <= old.Start {
 			end = old.Start + 1 // simultaneous arrivals: keep interval non-empty
 		}
-		w.Transfer(temporal.NewElement(old.Value, old.Start, end))
+		w.Transfer(old.WithInterval(temporal.NewInterval(old.Start, end)))
 	}
 	w.buf.Enqueue(e)
 }
@@ -169,7 +169,7 @@ func (w *CountWindow) fflush() {
 		if !ok {
 			return
 		}
-		w.Transfer(temporal.NewElement(old.Value, old.Start, temporal.MaxTime))
+		w.Transfer(old.WithInterval(temporal.NewInterval(old.Start, temporal.MaxTime)))
 	}
 }
 
@@ -229,7 +229,7 @@ func (w *PartitionedWindow) Process(e temporal.Element, _ int) {
 		if end <= old.Start {
 			end = old.Start + 1
 		}
-		w.out.add(temporal.NewElement(old.Value, old.Start, end))
+		w.out.add(old.WithInterval(temporal.NewInterval(old.Start, end)))
 		if head, ok := q.Peek(); ok {
 			w.heads.Push(partHead{start: head.Start, key: k})
 		}
@@ -274,7 +274,7 @@ func (w *PartitionedWindow) fflush() {
 			if !ok {
 				break
 			}
-			w.out.add(temporal.NewElement(old.Value, old.Start, temporal.MaxTime))
+			w.out.add(old.WithInterval(temporal.NewInterval(old.Start, temporal.MaxTime)))
 		}
 	}
 	w.out.flush(w.Transfer)

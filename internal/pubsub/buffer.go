@@ -17,6 +17,22 @@ type queued struct {
 	at int64
 }
 
+// Clock is the injectable time source for queue-time telemetry. It is
+// declared structurally (rather than importing metadata.Clock, which
+// would cycle: metadata imports pubsub) so metadata.SystemClock and
+// metadata.FakeClock satisfy it implicitly. Raw time.Now in operator
+// hot paths is forbidden (pipesvet:hotpathclock); the buffer reads the
+// wall clock only through this seam, and only when telemetry asked it
+// to.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the default Clock: the real time.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
 // Buffer is an explicit inter-operator queue, modelled as a pipe. PIPES
 // connects operators directly and inserts buffers only at virtual-node
 // boundaries, where the scheduler decouples producer and consumer threads:
@@ -32,6 +48,12 @@ type Buffer struct {
 	// dequeue) — the "queue time" half of the telemetry layer's latency
 	// split. Swapped atomically so it can be attached to a running buffer.
 	queueHist atomic.Pointer[telemetry.Histogram]
+
+	// clock stamps enqueue/dequeue times for queue-time telemetry.
+	// Defaults to the system clock; tests inject a fake via SetClock.
+	// Swapped atomically for the same reason as queueHist: it can be
+	// attached while the buffer is live.
+	clock atomic.Pointer[Clock]
 
 	mu           sync.Mutex
 	q            xds.Queue[queued]
@@ -56,11 +78,29 @@ func (b *Buffer) SetQueueTimeHistogram(h *telemetry.Histogram) { b.queueHist.Sto
 // when telemetry is off).
 func (b *Buffer) QueueTimeHistogram() *telemetry.Histogram { return b.queueHist.Load() }
 
+// SetClock injects the time source used for residence-time stamps.
+// Passing nil restores the system clock.
+func (b *Buffer) SetClock(c Clock) {
+	if c == nil {
+		b.clock.Store(nil)
+		return
+	}
+	b.clock.Store(&c)
+}
+
+// now reads the injected clock, falling back to the system clock.
+func (b *Buffer) now() int64 {
+	if c := b.clock.Load(); c != nil {
+		return (*c).Now().UnixNano()
+	}
+	return systemClock{}.Now().UnixNano()
+}
+
 // Process implements Sink by enqueueing.
 func (b *Buffer) Process(e temporal.Element, _ int) {
 	var at int64
 	if b.queueHist.Load() != nil || e.Trace != nil {
-		at = time.Now().UnixNano()
+		at = b.now()
 	}
 	b.mu.Lock()
 	b.q.Enqueue(queued{e: e, at: at}) // unbounded queue: cannot fail
@@ -97,7 +137,7 @@ func (b *Buffer) Drain(max int) int {
 		}
 		b.mu.Unlock()
 		if qe.at != 0 {
-			wait := time.Now().UnixNano() - qe.at
+			wait := b.now() - qe.at
 			if h := b.queueHist.Load(); h != nil {
 				h.Observe(wait)
 			}

@@ -90,7 +90,7 @@ var ErrNotSubscribed = errors.New("pubsub: not subscribed")
 type SourceBase struct {
 	name string
 
-	mu   sync.Mutex                    // serialises subscription writes
+	mu   sync.Mutex                     // serialises subscription writes
 	subs atomic.Pointer[[]Subscription] // immutable snapshot read by Transfer
 	done atomic.Bool
 	hook atomic.Pointer[TransferHook] // optional telemetry tap on Transfer

@@ -81,7 +81,7 @@ func (c *Collector) Len() int {
 func (c *Collector) DoneC() <-chan struct{} { return c.done }
 
 // Wait blocks until all inputs have signalled done.
-func (c *Collector) Wait() { <-c.done }
+func (c *Collector) Wait() { <-c.done } //pipesvet:allow nogoroutine graph-exit adapter: callers block outside the operator graph
 
 // FuncSink invokes a callback per element; handy for wiring query results
 // into applications (the paper's "purpose-built sinks").
@@ -148,4 +148,4 @@ func (c *Counter) Done(_ int) {
 func (c *Counter) Count() int64 { return c.count.Load() }
 
 // Wait blocks until all inputs signalled done.
-func (c *Counter) Wait() { <-c.done }
+func (c *Counter) Wait() { <-c.done } //pipesvet:allow nogoroutine graph-exit adapter: callers block outside the operator graph

@@ -95,9 +95,9 @@ type Element struct {
 	// follows through the graph. It is nil for the overwhelming majority
 	// of elements and is ignored by the operator algebra: operators that
 	// forward an element unchanged (or merely restrict its interval)
-	// preserve it, operators that construct new elements drop it, and the
-	// metadata decorator re-attaches it across such hops. Declared as
-	// `any` so the time model stays dependency free.
+	// preserve it, and operators that construct new elements from one or
+	// more inputs propagate the first non-nil source trace via Derive.
+	// Declared as `any` so the time model stays dependency free.
 	Trace any
 }
 
@@ -117,6 +117,24 @@ func (e Element) String() string { return fmt.Sprintf("%v@%s", e.Value, e.Interv
 // attached trace context.
 func (e Element) WithInterval(iv Interval) Element {
 	return Element{Value: e.Value, Interval: iv, Trace: e.Trace}
+}
+
+// Derive returns an element carrying value over iv that inherits the
+// trace context of its source elements: the first non-nil Trace among
+// from wins. Operators that build fresh elements out of one or more
+// inputs (map, join, aggregation emits) must construct their outputs
+// through Derive — or WithInterval when the value is unchanged — so a
+// sampled span survives the rewrite (see OBSERVABILITY.md; enforced by
+// pipesvet:traceslot).
+func Derive(value any, iv Interval, from ...Element) Element {
+	e := Element{Value: value, Interval: iv}
+	for _, f := range from {
+		if f.Trace != nil {
+			e.Trace = f.Trace
+			break
+		}
+	}
+	return e
 }
 
 // OrderedByStart reports whether the slice is non-decreasing in Start,
