@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"pipes/internal/experiments"
 	"pipes/internal/nexmark"
@@ -162,4 +163,15 @@ func BenchmarkE18_TelemetryOverhead(b *testing.B) {
 	b.Run("bare", experiments.E18Telemetry(experiments.TelemetryOff, 0))
 	b.Run("monitored", experiments.E18Telemetry(experiments.TelemetryMonitored, 0))
 	b.Run("traced-1in128", experiments.E18Telemetry(experiments.TelemetryTraced, 128))
+}
+
+// E19: checkpoint overhead — the avg-HOV-speed traffic query bare, with
+// 1s barrier checkpoints (the deployment-realistic rate for multi-MB
+// state) into in-memory and file-backed stores, plus a 100ms stress
+// variant showing the cost of re-snapshotting a large window 10×/s.
+func BenchmarkE19_CheckpointOverhead(b *testing.B) {
+	b.Run("off", experiments.E19Checkpoint(experiments.CheckpointOff, 0))
+	b.Run("mem-1s", experiments.E19Checkpoint(experiments.CheckpointMem, time.Second))
+	b.Run("file-1s", experiments.E19Checkpoint(experiments.CheckpointFile, time.Second))
+	b.Run("mem-100ms", experiments.E19Checkpoint(experiments.CheckpointMem, 100*time.Millisecond))
 }

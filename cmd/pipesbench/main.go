@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"pipes/internal/experiments"
 	"pipes/internal/nexmark"
@@ -148,6 +149,12 @@ func main() {
 		row("bare", bench(experiments.E18Telemetry(experiments.TelemetryOff, 0)))
 		row("monitored", bench(experiments.E18Telemetry(experiments.TelemetryMonitored, 0)))
 		row("traced-1in128", bench(experiments.E18Telemetry(experiments.TelemetryTraced, 128)))
+	}
+	if run("E19") {
+		section("E19 — checkpoint overhead (avg-HOV-speed query, ns/element)")
+		row("off", bench(experiments.E19Checkpoint(experiments.CheckpointOff, 0)))
+		row("mem-1s", bench(experiments.E19Checkpoint(experiments.CheckpointMem, time.Second)))
+		row("file-1s", bench(experiments.E19Checkpoint(experiments.CheckpointFile, time.Second)))
 	}
 }
 

@@ -15,10 +15,12 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pipes"
 	"pipes/internal/nexmark"
@@ -33,12 +35,22 @@ type session struct {
 	sinks   []*pipes.Collector
 }
 
-func newSession() *session {
-	return &session{dsms: pipes.NewDSMS(pipes.Config{Workers: 2, MonitorQueries: true})}
+func newSession(cfg pipes.Config) *session {
+	return &session{dsms: pipes.NewDSMS(cfg)}
 }
 
 func main() {
-	s := newSession()
+	checkpointDir := flag.String("checkpoint", "",
+		"enable fault-tolerance checkpointing into this directory (file-backed store; see FAULT_TOLERANCE.md)")
+	checkpointEvery := flag.Duration("checkpoint-interval", 200*time.Millisecond,
+		"checkpoint cadence when -checkpoint is set")
+	flag.Parse()
+	cfg := pipes.Config{Workers: 2, MonitorQueries: true}
+	if *checkpointDir != "" {
+		cfg.CheckpointDir = *checkpointDir
+		cfg.CheckpointInterval = *checkpointEvery
+	}
+	s := newSession(cfg)
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	interactive := isatty()
@@ -180,6 +192,9 @@ func (s *session) cmdRun() {
 	s.emitted = true
 	s.dsms.Start()
 	s.dsms.Wait()
+	if m := s.dsms.Checkpoints; m != nil {
+		fmt.Printf("checkpoints: %d sealed, last id %d\n", m.Completed(), m.LastCheckpointID())
+	}
 	for i, col := range s.sinks {
 		if s.queries[i] == nil {
 			continue

@@ -5,7 +5,7 @@
 // otherwise spans silently drop and latency attribution ends at the
 // first join/aggregate/window rewrite.
 //
-// In the operator packages (ops, aggregate) the analyzer flags:
+// In the operator packages (ops, aggregate, ft) the analyzer flags:
 //
 //   - `temporal.Element{...}` composite literals without an explicit
 //     Trace field: the zero value is a silent drop;
@@ -40,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 
 // scope is where the contract applies: packages whose operators rewrite
 // elements.
-var scope = []string{"ops", "aggregate"}
+var scope = []string{"ops", "aggregate", "ft"}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !vetutil.InScope(pass.Pkg.Path(), scope...) {

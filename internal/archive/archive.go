@@ -8,6 +8,7 @@
 package archive
 
 import (
+	"sort"
 	"sync"
 
 	"pipes/internal/cursor"
@@ -120,6 +121,9 @@ func (a *Archive) Range(iv temporal.Interval) cursor.Cursor {
 	from := a.minB
 	if !a.openEnd {
 		lo := iv.Start - a.maxDur
+		if lo > iv.Start { // underflow near MinTime: no lower cutoff
+			lo = temporal.MinTime
+		}
 		if b := a.bucketOf(lo); b > from {
 			from = b
 		}
@@ -128,8 +132,18 @@ func (a *Archive) Range(iv temporal.Interval) cursor.Cursor {
 	if to > a.maxB {
 		to = a.maxB
 	}
+	// Iterate the buckets that exist, not every index in [from, to] — the
+	// span can be astronomically sparse (e.g. a full-range replay of an
+	// archive holding elements near MinTime).
+	keys := make([]int64, 0, len(a.buckets))
+	for b := range a.buckets {
+		if b >= from && b <= to {
+			keys = append(keys, b)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var out []any
-	for b := from; b <= to; b++ {
+	for _, b := range keys {
 		for _, e := range a.buckets[b] {
 			if e.Overlaps(iv) {
 				out = append(out, e)
@@ -159,6 +173,28 @@ func (a *Archive) Snapshot(t temporal.Time) []any {
 // data re-entering data-driven processing.
 func (a *Archive) Replay(name string, iv temporal.Interval) pubsub.Emitter {
 	cur := a.Range(iv)
+	return pubsub.NewFuncSource(name, func() (temporal.Element, bool) {
+		v, ok := cur.Next()
+		if !ok {
+			return temporal.Element{}, false
+		}
+		return v.(temporal.Element), true
+	})
+}
+
+// ReplayFrom returns an emitter re-publishing every archived element
+// except the first offset ones, in Start order. Because an archive
+// subscribed at a source records elements in arrival order — which the
+// stream invariant makes Start order — skipping offset elements resumes
+// the stream exactly where a recorded per-source checkpoint offset left
+// it. Recovery (internal/ft) uses this as the replay source.
+func (a *Archive) ReplayFrom(name string, offset int) pubsub.Emitter {
+	cur := a.Range(temporal.NewInterval(temporal.MinTime, temporal.MaxTime))
+	for i := 0; i < offset; i++ {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+	}
 	return pubsub.NewFuncSource(name, func() (temporal.Element, bool) {
 		v, ok := cur.Next()
 		if !ok {

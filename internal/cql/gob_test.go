@@ -1,0 +1,95 @@
+package cql
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// fallbackVal exercises the nested-gob tag: a type outside the fast set.
+type fallbackVal struct{ N int32 }
+
+func TestTupleGobRoundTrip(t *testing.T) {
+	gob.Register(Tuple{})
+	gob.Register(fallbackVal{})
+	in := Tuple{
+		"i":   42,
+		"neg": -7,
+		"i64": int64(1 << 40),
+		"f":   3.25,
+		"s":   "oakland",
+		"b":   true,
+		"b2":  false,
+		"fb":  fallbackVal{N: 9},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out Tuple
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %#v\n out %#v", in, out)
+	}
+	// Type identity must survive exactly: int stays int, int64 stays int64.
+	if _, ok := out["i"].(int); !ok {
+		t.Fatalf("int field decoded as %T", out["i"])
+	}
+	if _, ok := out["i64"].(int64); !ok {
+		t.Fatalf("int64 field decoded as %T", out["i64"])
+	}
+}
+
+func TestTupleGobInsideInterface(t *testing.T) {
+	gob.Register(Tuple{})
+	in := Tuple{"speed": 61.5, "lane": 4}
+	var buf bytes.Buffer
+	var boxed any = in
+	if err := gob.NewEncoder(&buf).Encode(&boxed); err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := got.(Tuple)
+	if !ok {
+		t.Fatalf("decoded as %T", got)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %#v vs %#v", out, in)
+	}
+}
+
+func TestTupleGobEmptyAndNil(t *testing.T) {
+	for _, in := range []Tuple{{}, nil} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Fatal(err)
+		}
+		var out Tuple
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("expected empty tuple, got %#v", out)
+		}
+	}
+}
+
+func TestTupleGobTruncatedFrame(t *testing.T) {
+	full, err := Tuple{"direction": "oakland", "speed": 55.0}.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		var out Tuple
+		if err := out.GobDecode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error: %#v",
+				cut, len(full), out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"pipes/internal/cql"
+	"pipes/internal/ft"
+	"pipes/internal/optimizer"
+	"pipes/internal/pubsub"
+	"pipes/internal/traffic"
+)
+
+// CheckpointMode selects the fault-tolerance configuration for E19.
+type CheckpointMode int
+
+const (
+	// CheckpointOff runs the bare graph: no barrier channel, no manager.
+	CheckpointOff CheckpointMode = iota
+	// CheckpointMem checkpoints on a timer into the in-memory store.
+	CheckpointMem
+	// CheckpointFile checkpoints on a timer into a file-backed store
+	// (fsync-free tmp+rename seal, like a deployment would use).
+	CheckpointFile
+)
+
+func init() {
+	// Traffic readings surface as cql.Tuple values, so operator snapshots
+	// in E19 serialise tuples.
+	ft.RegisterType(cql.Tuple{})
+}
+
+// E19Checkpoint measures the cost of the fault-tolerance subsystem on the
+// traffic workload (avg-HOV-speed query, b.N readings): the same graph
+// runs bare, with timed checkpoints into an in-memory store, and with
+// timed checkpoints into a file-backed store. The checkpointed variants
+// pay for barrier injection and alignment on the hot path plus state
+// snapshots and store writes off it; comparing ns/op against the bare
+// variant gives the per-element overhead.
+func E19Checkpoint(mode CheckpointMode, interval time.Duration) func(b *testing.B) {
+	return func(b *testing.B) {
+		gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: b.N})
+		cat := optimizer.NewCatalog()
+		src := gen.Source("traffic")
+
+		var (
+			mgr *ft.Manager
+			cs  *ft.CheckpointSource
+		)
+		feed := pubsub.Emitter(src)
+		if mode != CheckpointOff {
+			store := ft.CheckpointStore(ft.NewMemStore())
+			if mode == CheckpointFile {
+				fs, err := ft.NewFileStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				store = fs
+			}
+			mgr = ft.NewManager(store)
+			cs = ft.NewCheckpointSource(src)
+			mgr.RegisterSource(cs)
+			feed = cs
+			cat.Register("traffic", cs, 1000)
+		} else {
+			cat.Register("traffic", src, 1000)
+		}
+		o := optimizer.New(cat)
+
+		parsed, err := cql.Parse(traffic.QueryAvgHOVSpeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := o.AddQuery(parsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mgr != nil {
+			registered := 0
+			for _, p := range inst.Created {
+				hooked, okH := p.(ft.BarrierHooked)
+				saver, okS := p.(ft.StateSaver)
+				if okH && okS {
+					mgr.RegisterOperator(hooked, saver)
+					registered++
+				}
+			}
+			if registered == 0 {
+				b.Fatal("no stateful operators registered; E19 would measure nothing")
+			}
+		}
+		c := pubsub.NewCounter("c", 1)
+		if err := inst.Root.Subscribe(c, 0); err != nil {
+			b.Fatal(err)
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		if mgr != nil {
+			mgr.Start(interval)
+		}
+		pubsub.Drive(feed)
+		if mgr != nil {
+			mgr.Stop()
+		}
+		b.StopTimer()
+		if c.Count() == 0 && b.N > 1000 {
+			b.Fatal("query produced no output")
+		}
+		if mgr != nil {
+			if mgr.Completed() == 0 && b.N > 100000 {
+				b.Fatal("no checkpoint sealed during the run")
+			}
+			b.ReportMetric(float64(mgr.Completed()), "checkpoints")
+			b.ReportMetric(float64(mgr.LastBytes()), "cp-bytes")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package ft is the fault-tolerance subsystem: coordinated checkpoints of
+// running query graphs and crash recovery with source replay.
+//
+// # Protocol
+//
+// A checkpoint round is an aligned-barrier snapshot in the style of
+// Chandy–Lamport, adapted to PIPES' synchronous push graphs: the
+// coordinator (Manager) injects a pubsub.Barrier punctuation at every
+// source of the graph; the barrier flows downstream in stream order
+// (pubsub's control-element channel — through direct connections
+// synchronously, through Buffers in FIFO position); every registered
+// stateful operator snapshots its state the instant the barrier aligns
+// across its inputs, then forwards the barrier and acks. A round is
+// complete when every source has reported its replay offset and every
+// registered participant has acked; only then is the checkpoint handed to
+// the background writer and sealed in the store. The consequence, proved
+// by the alignment rules in pubsub:
+//
+//   - every state change caused by a pre-barrier element is inside the
+//     snapshot, every post-barrier change is outside it;
+//   - Buffers need no state in the checkpoint: the barrier is enqueued
+//     behind all pre-barrier data, so downstream operators snapshot only
+//     after that data has drained into their own state;
+//   - when a round is sealed, the barrier has reached every sink, so a
+//     sink's recorded cut index for that round is exact.
+//
+// # State contract
+//
+// Operators participate through the structural StateSaver/StateLoader
+// contract (implemented in internal/ops and on pubsub.Buffer, without an
+// ft import): SaveState runs under the operator's ProcMu at alignment —
+// it must serialise into the provided in-memory encoder and do no I/O;
+// the durable write happens on the Manager's background writer, off the
+// hot path. Element trace slots are dropped: traces do not survive a
+// crash. LoadState runs on a freshly built, not-yet-started operator.
+//
+// # Recovery
+//
+// Recover a crashed query by (1) rebuilding its graph — from the stored
+// planio description or programmatically — with the same operator names,
+// (2) loading the latest complete checkpoint and applying each operator's
+// state via RestoreStates, and (3) replaying each source from its
+// recorded offset (internal/archive's ReplayFrom is the canonical replay
+// source). The recovered output, appended to the pre-crash output
+// truncated at the checkpoint's sink cut, is snapshot-equivalent to an
+// uninterrupted run — the oracle checked by the recovery stress test.
+package ft
+
+import "encoding/gob"
+
+// StateSaver is implemented by every checkpointable operator: it writes
+// the operator's state to enc. Called with the operator quiescent (under
+// ProcMu, inputs aligned); implementations take no locks and do no I/O.
+type StateSaver interface {
+	SaveState(enc *gob.Encoder) error
+}
+
+// StateLoader restores state saved by the same operator type's
+// StateSaver. Called on a freshly constructed operator before the graph
+// starts.
+type StateLoader interface {
+	LoadState(dec *gob.Decoder) error
+}
+
+// RegisterType makes a concrete type encodable inside the `any` slots of
+// checkpointed state (element values, group keys). Alias of gob.Register;
+// call it for every custom value type that flows through a checkpointed
+// graph.
+func RegisterType(v any) { gob.Register(v) }
+
+func init() {
+	// Basic types that commonly travel in element values and group keys.
+	RegisterType(int(0))
+	RegisterType(int64(0))
+	RegisterType(uint64(0))
+	RegisterType(float64(0))
+	RegisterType("")
+	RegisterType(false)
+	RegisterType([]any{})
+	RegisterType(map[string]any{})
+}

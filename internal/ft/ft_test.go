@@ -1,0 +1,382 @@
+package ft_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pipes/internal/aggregate"
+	"pipes/internal/ft"
+	"pipes/internal/ops"
+	"pipes/internal/pubsub"
+	"pipes/internal/telemetry"
+	"pipes/internal/temporal"
+)
+
+func el(v any, start, end temporal.Time) temporal.Element {
+	return temporal.Element{Value: v, Interval: temporal.Interval{Start: start, End: end}, Trace: nil}
+}
+
+func mustSeal(t *testing.T, s ft.CheckpointStore, id uint64, offsets map[string]int, states map[string][]byte) {
+	t.Helper()
+	w, err := s.Begin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, off := range offsets {
+		if err := w.PutOffset(name, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, st := range states {
+		if err := w.PutState(name, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoresRoundTrip(t *testing.T) {
+	fileStore, err := ft.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, store := range map[string]ft.CheckpointStore{
+		"mem":  ft.NewMemStore(),
+		"file": fileStore,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if cp, err := store.LatestComplete(); err != nil || cp != nil {
+				t.Fatalf("empty store: got %v, %v", cp, err)
+			}
+			mustSeal(t, store, 1, map[string]int{"src": 10}, map[string][]byte{"op": []byte("one")})
+			mustSeal(t, store, 2, map[string]int{"src": 25}, map[string][]byte{"op": []byte("two")})
+			cp, err := store.LatestComplete()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp == nil || cp.ID != 2 || cp.Offsets["src"] != 25 || string(cp.States["op"]) != "two" {
+				t.Fatalf("latest: got %+v", cp)
+			}
+			if err := store.Drop(1); err != nil {
+				t.Fatal(err)
+			}
+			cp, err = store.LatestComplete()
+			if err != nil || cp == nil || cp.ID != 2 {
+				t.Fatalf("after drop: got %+v, %v", cp, err)
+			}
+		})
+	}
+}
+
+// An unsealed checkpoint (crash before the manifest rename) must be
+// invisible; a sealed checkpoint with a corrupted state file must be
+// skipped in favour of the previous complete one.
+func TestFileStoreSkipsTornCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ft.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSeal(t, store, 1, map[string]int{"src": 5}, map[string][]byte{"op": []byte("good")})
+
+	// Torn write: state written, no manifest.
+	w, err := store.Begin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutState("op", []byte("unsealed")); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := store.LatestComplete()
+	if err != nil || cp == nil || cp.ID != 1 {
+		t.Fatalf("unsealed checkpoint visible: got %+v, %v", cp, err)
+	}
+
+	// Sealed but corrupted: flip the state file's content.
+	mustSeal(t, store, 3, map[string]int{"src": 9}, map[string][]byte{"op": []byte("later")})
+	des, err := filepath.Glob(filepath.Join(dir, "cp-3", "state-*.gob"))
+	if err != nil || len(des) != 1 {
+		t.Fatalf("state files of cp-3: %v, %v", des, err)
+	}
+	if err := os.WriteFile(des[0], []byte("XXXXX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = store.LatestComplete()
+	if err != nil || cp == nil || cp.ID != 1 {
+		t.Fatalf("corrupt checkpoint not skipped: got %+v, %v", cp, err)
+	}
+}
+
+// CheckpointSource must inject a requested barrier between elements,
+// report the element count before the barrier as the offset, and flush a
+// pending barrier before propagating done.
+func TestCheckpointSourceInjectsBarrierAtOffset(t *testing.T) {
+	inner := pubsub.NewSliceSource("src", []temporal.Element{
+		el(1, 1, 2), el(2, 2, 3), el(3, 3, 4),
+	})
+	cs := ft.NewCheckpointSource(inner)
+	col := pubsub.NewCollector("col", 1)
+	if err := cs.Subscribe(col, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotOffset = -1
+	cs.RequestBarrier(pubsub.Barrier{ID: 1})
+	// The test reaches into the callback seam via the Manager in real
+	// runs; here, observe the offset through Offset() around emission.
+	cs.EmitNext() // injects barrier (offset 0), then emits element 1
+	if got := cs.Offset(); got != 1 {
+		t.Fatalf("offset after first emit: %d, want 1", got)
+	}
+	cs.EmitNext()
+	cs.RequestBarrier(pubsub.Barrier{ID: 2})
+	gotOffset = cs.Offset()
+	cs.EmitNext() // injects barrier 2 at offset 2, emits element 3
+	if gotOffset != 2 {
+		t.Fatalf("offset before barrier 2: %d, want 2", gotOffset)
+	}
+	cs.RequestBarrier(pubsub.Barrier{ID: 3})
+	for cs.EmitNext() { // exhausts: barrier 3 flushed before done
+	}
+	if got := len(col.Elements()); got != 3 {
+		t.Fatalf("collector got %d elements, want 3", got)
+	}
+	select {
+	case <-col.DoneC():
+	default:
+		t.Fatal("done did not propagate")
+	}
+	// A barrier requested after done passes through immediately.
+	cs.RequestBarrier(pubsub.Barrier{ID: 4})
+	if got := cs.Offset(); got != 3 {
+		t.Fatalf("final offset: %d, want 3", got)
+	}
+}
+
+// Manager end-to-end over a two-source join graph driven to completion:
+// rounds triggered mid-stream must seal with consistent offsets, states
+// and sink cuts.
+func TestManagerChecksAndSealsRounds(t *testing.T) {
+	store := ft.NewMemStore()
+	mgr := ft.NewManager(store)
+
+	left := ft.NewCheckpointSource(pubsub.NewSliceSource("left", []temporal.Element{
+		el(1, 1, 10), el(2, 2, 10), el(3, 3, 10),
+	}))
+	right := ft.NewCheckpointSource(pubsub.NewSliceSource("right", []temporal.Element{
+		el(1, 1, 10), el(2, 2, 10), el(3, 3, 10),
+	}))
+	join := ops.NewEquiJoin("join", func(v any) any { return v }, func(v any) any { return v }, nil)
+	sink := ft.NewCheckpointSink("sink")
+	if err := left.Subscribe(join, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Subscribe(join, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := join.Subscribe(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr.RegisterSource(left)
+	mgr.RegisterSource(right)
+	mgr.RegisterOperator(join, join)
+	mgr.RegisterSink(sink)
+	mgr.RegisterMetrics(telemetry.NewRegistry())
+	mgr.Start(0)
+	defer mgr.Stop()
+
+	// Interleave: one element per source, then a checkpoint, repeat.
+	id1, err := mgr.Trigger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	left.EmitNext() // injects barrier at left
+	right.EmitNext()
+	waitSealed(t, mgr, id1)
+
+	left.EmitNext()
+	id2, err := mgr.Trigger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	right.EmitNext()
+	left.EmitNext()
+	waitSealed(t, mgr, id2)
+
+	for left.EmitNext() {
+	}
+	for right.EmitNext() {
+	}
+
+	cp, err := store.LatestComplete()
+	if err != nil || cp == nil {
+		t.Fatalf("latest: %v, %v", cp, err)
+	}
+	if cp.ID != id2 {
+		t.Fatalf("latest ID %d, want %d", cp.ID, id2)
+	}
+	if cp.Offsets["left"] != 2 || cp.Offsets["right"] != 1 {
+		t.Fatalf("offsets: %v, want left=2 right=1", cp.Offsets)
+	}
+	if _, ok := cp.States["join"]; !ok {
+		t.Fatalf("join state missing: %v", cp.States)
+	}
+	if _, ok := sink.Cut(id2); !ok {
+		t.Fatal("sink cut for round 2 missing")
+	}
+	if got := mgr.Completed(); got != 2 {
+		t.Fatalf("completed rounds: %d, want 2", got)
+	}
+}
+
+// waitSealed blocks until the manager's background writer sealed round id.
+func waitSealed(t *testing.T, mgr *ft.Manager, id uint64) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if mgr.LastCheckpointID() >= id {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("round %d never sealed", id)
+}
+
+// Round-trip every stateful operator through SaveState/LoadState and
+// verify the restored operator produces identical output for identical
+// further input.
+func TestOperatorStateRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		make  func() pubsub.Pipe
+		feed  []feedStep
+		after []feedStep
+	}{
+		{
+			name: "join",
+			make: func() pubsub.Pipe {
+				return ops.NewEquiJoin("op", func(v any) any { return v }, func(v any) any { return v }, nil)
+			},
+			feed:  []feedStep{{el(1, 1, 10), 0}, {el(2, 2, 10), 1}, {el(1, 3, 8), 1}},
+			after: []feedStep{{el(2, 4, 9), 0}, {el(1, 5, 6), 0}},
+		},
+		{
+			name: "groupby",
+			make: func() pubsub.Pipe {
+				return ops.NewGroupBy("op", func(v any) any { return v.(int) % 2 }, aggregate.NewCount, nil)
+			},
+			feed:  []feedStep{{el(1, 1, 5), 0}, {el(2, 2, 6), 0}, {el(3, 3, 7), 0}},
+			after: []feedStep{{el(4, 4, 9), 0}, {el(5, 8, 12), 0}},
+		},
+		{
+			name:  "union",
+			make:  func() pubsub.Pipe { return ops.NewUnion("op", 2) },
+			feed:  []feedStep{{el(1, 1, 5), 0}, {el(2, 3, 6), 1}},
+			after: []feedStep{{el(3, 4, 8), 0}, {el(4, 5, 9), 1}},
+		},
+		{
+			name:  "difference",
+			make:  func() pubsub.Pipe { return ops.NewDifference("op", nil) },
+			feed:  []feedStep{{el(1, 1, 9), 0}, {el(1, 2, 6), 1}, {el(2, 3, 7), 0}},
+			after: []feedStep{{el(1, 4, 8), 0}, {el(2, 5, 6), 1}},
+		},
+		{
+			name:  "intersect",
+			make:  func() pubsub.Pipe { return ops.NewIntersect("op", nil) },
+			feed:  []feedStep{{el(1, 1, 9), 0}, {el(1, 2, 6), 1}, {el(2, 3, 7), 0}},
+			after: []feedStep{{el(2, 4, 8), 1}, {el(1, 5, 6), 0}},
+		},
+		{
+			name:  "countwindow",
+			make:  func() pubsub.Pipe { return ops.NewCountWindow("op", 2) },
+			feed:  []feedStep{{el(1, 1, 1), 0}, {el(2, 2, 2), 0}, {el(3, 3, 3), 0}},
+			after: []feedStep{{el(4, 4, 4), 0}, {el(5, 5, 5), 0}},
+		},
+		{
+			name: "partitionedwindow",
+			make: func() pubsub.Pipe {
+				return ops.NewPartitionedWindow("op", func(v any) any { return v.(int) % 2 }, 2)
+			},
+			feed:  []feedStep{{el(1, 1, 1), 0}, {el(2, 2, 2), 0}, {el(3, 3, 3), 0}},
+			after: []feedStep{{el(4, 4, 4), 0}, {el(5, 5, 5), 0}, {el(6, 6, 6), 0}},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Uninterrupted run: feed + after.
+			ref := tc.make()
+			refCol := pubsub.NewCollector("ref", 1)
+			if err := ref.Subscribe(refCol, 0); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range append(append([]feedStep{}, tc.feed...), tc.after...) {
+				ref.Process(s.e, s.input)
+			}
+			doneAll(ref)
+
+			// Checkpointed run: feed, save, restore into a fresh operator,
+			// continue with after.
+			orig := tc.make()
+			// Swallow pre-checkpoint output (it would have been delivered
+			// before the crash).
+			origCol := pubsub.NewCollector("orig", 1)
+			if err := orig.Subscribe(origCol, 0); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range tc.feed {
+				orig.Process(s.e, s.input)
+			}
+			var buf bytes.Buffer
+			if err := orig.(ft.StateSaver).SaveState(gob.NewEncoder(&buf)); err != nil {
+				t.Fatal(err)
+			}
+
+			restored := tc.make()
+			if err := restored.(ft.StateLoader).LoadState(gob.NewDecoder(bytes.NewReader(buf.Bytes()))); err != nil {
+				t.Fatal(err)
+			}
+			restCol := pubsub.NewCollector("rest", 1)
+			if err := restored.Subscribe(restCol, 0); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range tc.after {
+				restored.Process(s.e, s.input)
+			}
+			doneAll(restored)
+
+			// ref output == orig pre-checkpoint output + restored output.
+			merged := append(origCol.Elements(), restCol.Elements()...)
+			refOut := refCol.Elements()
+			if len(merged) != len(refOut) {
+				t.Fatalf("merged %d elements, reference %d\nmerged:   %v\nreference: %v",
+					len(merged), len(refOut), merged, refOut)
+			}
+			for i := range refOut {
+				if merged[i] != refOut[i] {
+					t.Errorf("element %d: merged %v, reference %v", i, merged[i], refOut[i])
+				}
+			}
+		})
+	}
+}
+
+type feedStep struct {
+	e     temporal.Element
+	input int
+}
+
+func doneAll(p pubsub.Pipe) {
+	type inputer interface{ Inputs() int }
+	n := 1
+	if ip, ok := p.(inputer); ok {
+		n = ip.Inputs()
+	}
+	for i := 0; i < n; i++ {
+		p.Done(i)
+	}
+}

@@ -1,0 +1,390 @@
+package ft
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/telemetry"
+)
+
+// BarrierHooked is the operator-side attachment point: every operator
+// embedding pubsub.PipeBase satisfies it.
+type BarrierHooked interface {
+	pubsub.Node
+	SetBarrierHooks(save, ack func(pubsub.Barrier))
+}
+
+// Event is one observable step of a checkpoint round, exposed for the
+// fault-injection harness and for logging. Stage values: "save" (operator
+// snapshot staged), "ack" (operator acked), "offset" (source offset
+// recorded), "complete" (round complete, queued for writing), "sealed"
+// (durably sealed), "failed" (store write failed).
+type Event struct {
+	Stage string
+	Node  string
+	ID    uint64
+}
+
+// Manager coordinates checkpoint rounds over one query graph: it injects
+// barriers at the registered sources, collects operator snapshots and
+// acks, and hands complete rounds to a background writer that persists
+// them to the store — the only place state touches I/O, off the
+// processing hot path.
+//
+// Configure (RegisterSource/RegisterOperator/RegisterSink/OnEvent) before
+// Start; Trigger and the periodic ticker drive rounds afterwards.
+type Manager struct {
+	store CheckpointStore
+
+	sources []*CheckpointSource
+	savers  map[string]StateSaver
+	ackers  map[string]bool // every participant that must ack (operators + sinks)
+
+	mu      sync.Mutex
+	nextID  uint64
+	cur     *pending
+	onEvent func(Event)
+	started bool
+
+	writeCh chan *pending
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+
+	// Metrics, wired into telemetry via RegisterMetrics.
+	durHist       *telemetry.Histogram
+	lastID        atomic.Uint64
+	lastBytes     atomic.Int64
+	lastUnixNanos atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	skipped       atomic.Int64 // Trigger calls skipped: round in flight
+}
+
+// pending is one in-flight checkpoint round.
+type pending struct {
+	id    uint64
+	begun time.Time
+
+	mu          sync.Mutex
+	offsets     map[string]int
+	states      map[string][]byte
+	needOffsets map[string]bool
+	needAcks    map[string]bool
+	completed   bool
+}
+
+// NewManager returns a Manager persisting to store.
+func NewManager(store CheckpointStore) *Manager {
+	return &Manager{
+		store:   store,
+		savers:  map[string]StateSaver{},
+		ackers:  map[string]bool{},
+		durHist: telemetry.NewHistogram(),
+		writeCh: make(chan *pending, 1),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// RegisterSource adds a source to the rounds: every Trigger injects the
+// barrier there and records its replay offset.
+func (m *Manager) RegisterSource(cs *CheckpointSource) {
+	cs.setOnRequest(m.offsetRecorded)
+	m.sources = append(m.sources, cs)
+}
+
+// RegisterOperator adds a stateful operator: its state is saved each
+// round (via the StateSaver contract) and the round completes only after
+// its ack. The operator must also satisfy BarrierHooked (every
+// ops operator does, via pubsub.PipeBase).
+func (m *Manager) RegisterOperator(op BarrierHooked, saver StateSaver) {
+	name := op.Name()
+	m.savers[name] = saver
+	m.ackers[name] = true
+	op.SetBarrierHooks(
+		func(b pubsub.Barrier) { m.saveState(b, name, saver) },
+		func(b pubsub.Barrier) { m.acked(b, name) },
+	)
+}
+
+// RegisterSink adds a checkpoint sink as an ack participant, so a round
+// is complete only after its barrier reached every output and the cut
+// indexes are recorded.
+func (m *Manager) RegisterSink(s *CheckpointSink) {
+	m.ackers[s.Name()] = true
+	s.setAck(func(b pubsub.Barrier) { m.acked(b, s.Name()) })
+}
+
+// OnEvent installs an observer of round progress (fault-injection
+// harness, logging). Must be set before Start.
+func (m *Manager) OnEvent(fn func(Event)) { m.onEvent = fn }
+
+func (m *Manager) emit(ev Event) {
+	if m.onEvent != nil {
+		m.onEvent(ev)
+	}
+}
+
+// Start launches the background writer and, if interval > 0, a periodic
+// trigger.
+func (m *Manager) Start(interval time.Duration) {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.wg.Add(1)
+	//pipesvet:allow nogoroutine Manager's background writer is the sanctioned boundary adapter between the synchronous graph and durable storage
+	go m.writeLoop()
+	if interval > 0 {
+		m.wg.Add(1)
+		//pipesvet:allow nogoroutine periodic checkpoint trigger runs outside the element hot path
+		go m.tickLoop(interval)
+	}
+}
+
+// Stop terminates the background goroutines, draining a queued round
+// first so a completed checkpoint is not lost on clean shutdown.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = false
+	m.mu.Unlock()
+	close(m.stopCh)
+	m.wg.Wait()
+}
+
+func (m *Manager) writeLoop() {
+	defer m.wg.Done()
+	for {
+		//pipesvet:allow nogoroutine writer boundary adapter: receives completed rounds from the graph side
+		select {
+		case p := <-m.writeCh: //pipesvet:allow nogoroutine writer boundary adapter
+			m.write(p)
+		case <-m.stopCh: //pipesvet:allow nogoroutine writer boundary adapter
+			// Drain at most the single queued round, then exit.
+			//pipesvet:allow nogoroutine writer boundary adapter drain on shutdown
+			select {
+			case p := <-m.writeCh: //pipesvet:allow nogoroutine writer boundary adapter drain
+				m.write(p)
+			default:
+			}
+			return
+		}
+	}
+}
+
+func (m *Manager) tickLoop(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		//pipesvet:allow nogoroutine periodic trigger runs outside the element hot path
+		select {
+		case <-t.C: //pipesvet:allow nogoroutine periodic trigger
+			m.Trigger()
+		case <-m.stopCh: //pipesvet:allow nogoroutine periodic trigger
+			return
+		}
+	}
+}
+
+// ErrRoundInFlight is returned by Trigger while a previous round has not
+// completed — at most one checkpoint is outstanding at a time (the
+// alignment protocol's contract).
+var ErrRoundInFlight = errors.New("ft: checkpoint round in flight")
+
+// Trigger starts one checkpoint round: it allocates the next barrier ID
+// and requests injection at every registered source. It returns the
+// round's ID, or ErrRoundInFlight when the previous round is still
+// collecting.
+func (m *Manager) Trigger() (uint64, error) {
+	m.mu.Lock()
+	if m.cur != nil {
+		m.mu.Unlock()
+		m.skipped.Add(1)
+		return 0, ErrRoundInFlight
+	}
+	m.nextID++
+	id := m.nextID
+	p := &pending{
+		id:          id,
+		begun:       time.Now(),
+		offsets:     map[string]int{},
+		states:      map[string][]byte{},
+		needOffsets: map[string]bool{},
+		needAcks:    map[string]bool{},
+	}
+	for _, cs := range m.sources {
+		p.needOffsets[cs.Name()] = true
+	}
+	for name := range m.ackers {
+		p.needAcks[name] = true
+	}
+	m.cur = p
+	m.mu.Unlock()
+
+	b := pubsub.Barrier{ID: id}
+	for _, cs := range m.sources {
+		cs.RequestBarrier(b)
+	}
+	m.maybeComplete(p) // a graph with no sources/ackers completes empty
+	return id, nil
+}
+
+// current returns the pending round for barrier b (nil for stale hooks
+// of an abandoned round).
+func (m *Manager) current(b pubsub.Barrier) *pending {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur != nil && m.cur.id == b.ID {
+		return m.cur
+	}
+	return nil
+}
+
+// saveState is the operator save hook: it runs under the operator's
+// ProcMu at barrier alignment, so it only serialises into memory.
+func (m *Manager) saveState(b pubsub.Barrier, name string, saver StateSaver) {
+	p := m.current(b)
+	if p == nil {
+		return
+	}
+	var buf bytes.Buffer
+	err := saver.SaveState(gob.NewEncoder(&buf))
+	p.mu.Lock()
+	if err != nil {
+		// A snapshot that cannot serialise poisons the round: mark the
+		// state absent and let the round fail at write time.
+		p.states[name] = nil
+	} else {
+		p.states[name] = buf.Bytes()
+	}
+	p.mu.Unlock()
+	m.emit(Event{Stage: "save", Node: name, ID: b.ID})
+}
+
+// acked marks one participant's barrier receipt.
+func (m *Manager) acked(b pubsub.Barrier, name string) {
+	p := m.current(b)
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.needAcks, name)
+	p.mu.Unlock()
+	m.emit(Event{Stage: "ack", Node: name, ID: b.ID})
+	m.maybeComplete(p)
+}
+
+// offsetRecorded is the source injection callback.
+func (m *Manager) offsetRecorded(b pubsub.Barrier, source string, offset int) {
+	p := m.current(b)
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.needOffsets, source)
+	p.offsets[source] = offset
+	p.mu.Unlock()
+	m.emit(Event{Stage: "offset", Node: source, ID: b.ID})
+	m.maybeComplete(p)
+}
+
+// maybeComplete queues the round for writing once every offset and ack
+// arrived. The hand-off to the writer channel is the boundary between
+// the synchronous graph side and the I/O side.
+func (m *Manager) maybeComplete(p *pending) {
+	p.mu.Lock()
+	if p.completed || len(p.needOffsets) > 0 || len(p.needAcks) > 0 {
+		p.mu.Unlock()
+		return
+	}
+	p.completed = true
+	p.mu.Unlock()
+	m.emit(Event{Stage: "complete", ID: p.id})
+	//pipesvet:allow nogoroutine hand-off of a completed round to the writer boundary adapter
+	m.writeCh <- p
+}
+
+// write persists one completed round and retires it.
+func (m *Manager) write(p *pending) {
+	err := m.writeStore(p)
+	m.mu.Lock()
+	if m.cur == p {
+		m.cur = nil // round retired: the next Trigger may proceed
+	}
+	m.mu.Unlock()
+	if err != nil {
+		m.failed.Add(1)
+		m.emit(Event{Stage: "failed", ID: p.id})
+		return
+	}
+	m.durHist.Observe(time.Since(p.begun).Nanoseconds())
+	var bytesTotal int64
+	for _, st := range p.states {
+		bytesTotal += int64(len(st))
+	}
+	m.lastID.Store(p.id)
+	m.lastBytes.Store(bytesTotal)
+	m.lastUnixNanos.Store(time.Now().UnixNano())
+	m.completed.Add(1)
+	m.emit(Event{Stage: "sealed", ID: p.id})
+}
+
+func (m *Manager) writeStore(p *pending) error {
+	w, err := m.store.Begin(p.id)
+	if err != nil {
+		return err
+	}
+	for name, st := range p.states {
+		if st == nil {
+			return fmt.Errorf("ft: round %d: state of %s failed to serialise", p.id, name)
+		}
+		if err := w.PutState(name, st); err != nil {
+			return err
+		}
+	}
+	for name, off := range p.offsets {
+		if err := w.PutOffset(name, off); err != nil {
+			return err
+		}
+	}
+	return w.Seal()
+}
+
+// LastCheckpointID returns the ID of the last sealed round (0 when none).
+func (m *Manager) LastCheckpointID() uint64 { return m.lastID.Load() }
+
+// Completed returns the number of sealed rounds.
+func (m *Manager) Completed() int64 { return m.completed.Load() }
+
+// LastBytes returns the serialised size of the last sealed checkpoint.
+func (m *Manager) LastBytes() int64 { return m.lastBytes.Load() }
+
+// RegisterMetrics exposes checkpoint health on the telemetry registry:
+// round duration histogram, last sealed ID, last checkpoint size in
+// bytes, last success wall time, and completed/failed/skipped counters.
+func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterHistogram("pipes_checkpoint_duration_nanos", nil, m.durHist)
+	reg.RegisterGauge("pipes_checkpoint_last_id", nil, func() float64 { return float64(m.lastID.Load()) })
+	reg.RegisterGauge("pipes_checkpoint_last_bytes", nil, func() float64 { return float64(m.lastBytes.Load()) })
+	reg.RegisterGauge("pipes_checkpoint_last_success_unix_nanos", nil, func() float64 { return float64(m.lastUnixNanos.Load()) })
+	reg.RegisterCounterSet("pipes_checkpoint_", func() map[string]int64 {
+		return map[string]int64{
+			"completed_total": m.completed.Load(),
+			"failed_total":    m.failed.Load(),
+			"skipped_total":   m.skipped.Load(),
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package ft
+
+import (
+	"sync"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/temporal"
+)
+
+// CheckpointSource wraps a graph source, counting published elements (the
+// replay offset) and injecting requested barriers between two elements —
+// the injection point of every checkpoint round. It is an Emitter driving
+// the wrapped emitter: the scheduler (or Drive) pumps the CheckpointSource
+// and the inner source's elements pass through it synchronously.
+type CheckpointSource struct {
+	pubsub.SourceBase
+	inner pubsub.Emitter
+
+	mu     sync.Mutex
+	offset int
+	req    *pubsub.Barrier // barrier awaiting injection at the next emit
+	onReq  func(b pubsub.Barrier, sourceName string, offset int)
+	done   bool
+}
+
+// NewCheckpointSource wraps inner. The wrapper takes over inner's
+// subscribers: subscribe sinks to the wrapper, not to inner.
+func NewCheckpointSource(inner pubsub.Emitter) *CheckpointSource {
+	cs := &CheckpointSource{SourceBase: pubsub.NewSourceBase(inner.Name()), inner: inner}
+	if err := inner.Subscribe((*csTap)(cs), 0); err != nil {
+		panic("ft: cannot subscribe checkpoint tap: " + err.Error())
+	}
+	return cs
+}
+
+// csTap is the private sink identity receiving the inner source's
+// elements, kept distinct so user code cannot accidentally unsubscribe
+// the counting tap.
+type csTap CheckpointSource
+
+func (t *csTap) Name() string { return (*CheckpointSource)(t).Name() + "/ft-tap" }
+
+func (t *csTap) Process(e temporal.Element, _ int) {
+	cs := (*CheckpointSource)(t)
+	cs.mu.Lock()
+	cs.offset++
+	cs.mu.Unlock()
+	cs.Transfer(e)
+}
+
+func (t *csTap) Done(_ int) {
+	cs := (*CheckpointSource)(t)
+	cs.mu.Lock()
+	cs.done = true
+	req, onReq, off := cs.req, cs.onReq, cs.offset
+	cs.req = nil
+	cs.mu.Unlock()
+	// A barrier requested but not yet injected is flushed at the final
+	// offset before done propagates: downstream sees barrier, then done.
+	if req != nil {
+		cs.TransferControl(*req)
+		if onReq != nil {
+			onReq(*req, cs.Name(), off)
+		}
+	}
+	cs.SignalDone()
+}
+
+// EmitNext implements pubsub.Emitter: a pending barrier is injected
+// before the next element, taking the stream position between the
+// elements emitted so far and all later ones.
+func (cs *CheckpointSource) EmitNext() bool {
+	cs.mu.Lock()
+	req, onReq, off := cs.req, cs.onReq, cs.offset
+	cs.req = nil
+	cs.mu.Unlock()
+	if req != nil {
+		cs.TransferControl(*req)
+		if onReq != nil {
+			onReq(*req, cs.Name(), off)
+		}
+	}
+	return cs.inner.EmitNext()
+}
+
+// RequestBarrier asks the source to inject b at its next emission (or
+// immediately when the source has already finished). The offset callback
+// installed via setOnRequest fires at injection with the element count
+// before the barrier — the replay offset of this source for round b.
+func (cs *CheckpointSource) RequestBarrier(b pubsub.Barrier) {
+	cs.mu.Lock()
+	if cs.done {
+		onReq, off := cs.onReq, cs.offset
+		cs.mu.Unlock()
+		// The stream is complete; the barrier passes through at the final
+		// offset so the round can still complete downstream (done inputs
+		// count as aligned, but direct-connected operators still get the
+		// barrier for their snapshot hooks via closed-input dedupe).
+		cs.TransferControl(b)
+		if onReq != nil {
+			onReq(b, cs.Name(), off)
+		}
+		return
+	}
+	cs.req = &b
+	cs.mu.Unlock()
+}
+
+// setOnRequest installs the Manager's offset callback.
+func (cs *CheckpointSource) setOnRequest(fn func(b pubsub.Barrier, sourceName string, offset int)) {
+	cs.mu.Lock()
+	cs.onReq = fn
+	cs.mu.Unlock()
+}
+
+// Offset returns the number of elements published so far.
+func (cs *CheckpointSource) Offset() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.offset
+}
+
+// CheckpointSink is a collecting sink that participates in checkpoint
+// rounds: it records every received element and, per barrier, the cut
+// index — how many elements preceded the barrier. After recovery, the
+// pre-crash output truncated at Cut(id) concatenated with the recovered
+// run's output is the stream an uninterrupted run would have produced
+// (up to snapshot equivalence).
+type CheckpointSink struct {
+	name string
+
+	mu    sync.Mutex
+	elems []temporal.Element
+	cuts  map[uint64]int
+	ack   func(pubsub.Barrier)
+	done  bool
+}
+
+// NewCheckpointSink returns an empty sink.
+func NewCheckpointSink(name string) *CheckpointSink {
+	return &CheckpointSink{name: name, cuts: map[uint64]int{}}
+}
+
+// Name implements pubsub.Node.
+func (s *CheckpointSink) Name() string { return s.name }
+
+// Process implements pubsub.Sink.
+func (s *CheckpointSink) Process(e temporal.Element, _ int) {
+	s.mu.Lock()
+	s.elems = append(s.elems, e)
+	s.mu.Unlock()
+}
+
+// Done implements pubsub.Sink.
+func (s *CheckpointSink) Done(_ int) {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+}
+
+// HandleControl implements pubsub.ControlSink: barriers record their cut
+// and ack to the coordinator.
+func (s *CheckpointSink) HandleControl(c pubsub.Control, _ int) {
+	b, ok := c.(pubsub.Barrier)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.cuts[b.ID]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.cuts[b.ID] = len(s.elems)
+	ack := s.ack
+	s.mu.Unlock()
+	if ack != nil {
+		ack(b)
+	}
+}
+
+// Cut returns the number of elements received before barrier id, and
+// whether that barrier reached this sink.
+func (s *CheckpointSink) Cut(id uint64) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.cuts[id]
+	return n, ok
+}
+
+// Elements returns a snapshot of everything received so far.
+func (s *CheckpointSink) Elements() []temporal.Element {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]temporal.Element, len(s.elems))
+	copy(out, s.elems)
+	return out
+}
+
+// IsDone reports whether end-of-stream reached the sink.
+func (s *CheckpointSink) IsDone() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// setAck installs the Manager's ack callback.
+func (s *CheckpointSink) setAck(fn func(pubsub.Barrier)) {
+	s.mu.Lock()
+	s.ack = fn
+	s.mu.Unlock()
+}

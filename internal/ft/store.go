@@ -1,0 +1,311 @@
+package ft
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Checkpoint is one sealed, complete checkpoint: per-source replay
+// offsets and per-operator serialised state, keyed by node name.
+type Checkpoint struct {
+	ID      uint64
+	Offsets map[string]int
+	States  map[string][]byte
+}
+
+// CheckpointWriter stages one checkpoint. Entries may be added in any
+// order; nothing is visible to readers until Seal. A writer that is
+// abandoned without Seal leaves no complete checkpoint (a torn write —
+// readers skip it).
+type CheckpointWriter interface {
+	PutOffset(source string, offset int) error
+	PutState(op string, state []byte) error
+	// Seal atomically publishes the checkpoint as complete.
+	Seal() error
+}
+
+// CheckpointStore persists checkpoints. Implementations must make Seal
+// atomic: LatestComplete never observes a partially written checkpoint.
+type CheckpointStore interface {
+	Begin(id uint64) (CheckpointWriter, error)
+	// LatestComplete returns the sealed checkpoint with the highest ID,
+	// or nil when none exists. Incomplete or corrupt checkpoints are
+	// skipped (and the skip is the caller's fallback path: recovery then
+	// uses the previous checkpoint).
+	LatestComplete() (*Checkpoint, error)
+	// Drop removes every checkpoint with ID at or below id — retention
+	// management once a newer checkpoint is sealed.
+	Drop(id uint64) error
+}
+
+// ErrNoCheckpoint is returned by recovery helpers when the store holds no
+// complete checkpoint.
+var ErrNoCheckpoint = errors.New("ft: no complete checkpoint")
+
+// MemStore is the in-memory CheckpointStore: checkpoints survive a
+// simulated crash (the graph is abandoned, the store object is kept) but
+// not a process restart. It is the store of the fault-injection tests.
+type MemStore struct {
+	mu     sync.Mutex
+	sealed map[uint64]*Checkpoint
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{sealed: map[uint64]*Checkpoint{}} }
+
+type memWriter struct {
+	store *MemStore
+	cp    *Checkpoint
+	done  bool
+}
+
+// Begin implements CheckpointStore.
+func (s *MemStore) Begin(id uint64) (CheckpointWriter, error) {
+	return &memWriter{store: s, cp: &Checkpoint{ID: id, Offsets: map[string]int{}, States: map[string][]byte{}}}, nil
+}
+
+func (w *memWriter) PutOffset(source string, offset int) error {
+	w.cp.Offsets[source] = offset
+	return nil
+}
+
+func (w *memWriter) PutState(op string, state []byte) error {
+	w.cp.States[op] = append([]byte(nil), state...)
+	return nil
+}
+
+func (w *memWriter) Seal() error {
+	if w.done {
+		return errors.New("ft: checkpoint already sealed")
+	}
+	w.done = true
+	w.store.mu.Lock()
+	w.store.sealed[w.cp.ID] = w.cp
+	w.store.mu.Unlock()
+	return nil
+}
+
+// LatestComplete implements CheckpointStore.
+func (s *MemStore) LatestComplete() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Checkpoint
+	for _, cp := range s.sealed {
+		if best == nil || cp.ID > best.ID {
+			best = cp
+		}
+	}
+	return best, nil
+}
+
+// Drop implements CheckpointStore.
+func (s *MemStore) Drop(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.sealed {
+		if k <= id {
+			delete(s.sealed, k)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of sealed checkpoints (for tests).
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed)
+}
+
+// FileStore is the durable CheckpointStore: one directory per checkpoint
+// (`cp-<id>/`) holding one file per entry, sealed by writing a manifest
+// (entry list with sizes and CRC32 checksums) to a temp file and renaming
+// it into place — the atomic commit point. LatestComplete verifies every
+// entry against the manifest, so torn or corrupted writes (crash mid-
+// write, truncated file, flipped bits) demote the checkpoint to
+// incomplete and recovery falls back to the previous one.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+const manifestName = "MANIFEST.json"
+
+type manifestEntry struct {
+	File string `json:"file"`
+	Kind string `json:"kind"` // "offset" or "state"
+	Name string `json:"name"` // node name
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc32"`
+	// Offset is inlined for offset entries (File empty).
+	Offset int `json:"offset,omitempty"`
+}
+
+type manifest struct {
+	ID      uint64          `json:"id"`
+	Entries []manifestEntry `json:"entries"`
+}
+
+type fileWriter struct {
+	store   *FileStore
+	id      uint64
+	dir     string
+	entries []manifestEntry
+	seq     int
+	done    bool
+}
+
+// Begin implements CheckpointStore.
+func (s *FileStore) Begin(id uint64) (CheckpointWriter, error) {
+	dir := filepath.Join(s.dir, fmt.Sprintf("cp-%d", id))
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &fileWriter{store: s, id: id, dir: dir}, nil
+}
+
+func (w *fileWriter) PutOffset(source string, offset int) error {
+	w.entries = append(w.entries, manifestEntry{Kind: "offset", Name: source, Offset: offset})
+	return nil
+}
+
+func (w *fileWriter) PutState(op string, state []byte) error {
+	w.seq++
+	file := fmt.Sprintf("state-%d.gob", w.seq)
+	if err := os.WriteFile(filepath.Join(w.dir, file), state, 0o644); err != nil {
+		return err
+	}
+	w.entries = append(w.entries, manifestEntry{
+		File: file,
+		Kind: "state",
+		Name: op,
+		Size: int64(len(state)),
+		CRC:  crc32.ChecksumIEEE(state),
+	})
+	return nil
+}
+
+func (w *fileWriter) Seal() error {
+	if w.done {
+		return errors.New("ft: checkpoint already sealed")
+	}
+	w.done = true
+	data, err := json.Marshal(manifest{ID: w.id, Entries: w.entries})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(w.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(w.dir, manifestName))
+}
+
+// LatestComplete implements CheckpointStore: scans checkpoint directories
+// highest ID first and returns the first one whose manifest exists and
+// whose every entry verifies.
+func (s *FileStore) LatestComplete() (*Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, err := s.ids()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		cp, err := s.load(ids[i])
+		if err == nil {
+			return cp, nil
+		}
+	}
+	return nil, nil
+}
+
+func (s *FileStore) ids() ([]uint64, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint64
+	for _, de := range des {
+		if !de.IsDir() || !strings.HasPrefix(de.Name(), "cp-") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimPrefix(de.Name(), "cp-"), 10, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// load reads and verifies one checkpoint; any missing file, size
+// mismatch or checksum failure is an error (the checkpoint is torn).
+func (s *FileStore) load(id uint64) (*Checkpoint, error) {
+	dir := filepath.Join(s.dir, fmt.Sprintf("cp-%d", id))
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	cp := &Checkpoint{ID: m.ID, Offsets: map[string]int{}, States: map[string][]byte{}}
+	for _, e := range m.Entries {
+		switch e.Kind {
+		case "offset":
+			cp.Offsets[e.Name] = e.Offset
+		case "state":
+			b, err := os.ReadFile(filepath.Join(dir, e.File))
+			if err != nil {
+				return nil, err
+			}
+			if int64(len(b)) != e.Size || crc32.ChecksumIEEE(b) != e.CRC {
+				return nil, fmt.Errorf("ft: checkpoint %d entry %s is torn", id, e.Name)
+			}
+			cp.States[e.Name] = b
+		default:
+			return nil, fmt.Errorf("ft: checkpoint %d has unknown entry kind %q", id, e.Kind)
+		}
+	}
+	return cp, nil
+}
+
+// Drop implements CheckpointStore.
+func (s *FileStore) Drop(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, err := s.ids()
+	if err != nil {
+		return err
+	}
+	for _, i := range ids {
+		if i <= id {
+			if err := os.RemoveAll(filepath.Join(s.dir, fmt.Sprintf("cp-%d", i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Fault injection for the checkpoint/recovery subsystem. A "crash" in
+// these tests is cooperative: the Crash controller fires, the test stops
+// the scheduler and abandons the graph objects, and only what a real
+// crash would preserve — the durable CheckpointStore, the archived
+// source streams, and the downstream consumer's already-received output —
+// is carried into recovery. In-process simulation cannot kill threads
+// mid-instruction, so the crash points target the checkpoint protocol's
+// windows instead: a round whose durability is lost even though the
+// graph kept running for a few more microseconds is exactly the state a
+// machine failure leaves behind.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pipes/internal/ft"
+)
+
+// FaultPoint selects the protocol window the simulated crash strikes.
+type FaultPoint int
+
+const (
+	// FaultNone runs to completion without a crash.
+	FaultNone FaultPoint = iota
+	// FaultBetweenSaveAndAck crashes after an operator snapshot was
+	// staged but before the round can become durable: the in-flight
+	// round's seal is suppressed, so recovery falls back to the previous
+	// checkpoint.
+	FaultBetweenSaveAndAck
+	// FaultBeforeSeal crashes after the round completed (all offsets and
+	// acks collected) but before the store sealed it — the classic torn
+	// write. Recovery must skip the torn round.
+	FaultBeforeSeal
+	// FaultAfterSeal crashes immediately after a seal: recovery resumes
+	// from the just-written checkpoint.
+	FaultAfterSeal
+	// FaultMidDrain crashes while the barrier is still travelling —
+	// right after a source recorded its offset — so buffers and gates
+	// hold in-flight elements at crash time.
+	FaultMidDrain
+)
+
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultNone:
+		return "none"
+	case FaultBetweenSaveAndAck:
+		return "between-save-and-ack"
+	case FaultBeforeSeal:
+		return "before-seal"
+	case FaultAfterSeal:
+		return "after-seal"
+	case FaultMidDrain:
+		return "mid-drain"
+	}
+	return "unknown"
+}
+
+// Crash is the one-shot crash signal shared between the fault hooks and
+// the test's scheduler watcher.
+type Crash struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// NewCrash returns an unfired crash signal.
+func NewCrash() *Crash { return &Crash{ch: make(chan struct{})} }
+
+// Fire triggers the crash (idempotent).
+func (c *Crash) Fire() { c.once.Do(func() { close(c.ch) }) }
+
+// C is closed once the crash has fired.
+func (c *Crash) C() <-chan struct{} { return c.ch }
+
+// Fired reports whether the crash has been triggered.
+func (c *Crash) Fired() bool {
+	select {
+	case <-c.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// TornStore wraps a CheckpointStore so seals can be suppressed: while
+// armed, Seal writes nothing durable and reports failure — the on-disk
+// (or in-memory) image is exactly that of a crash between the round's
+// completion and its commit point. With a FileStore underneath the
+// state files of the torn round are still written, so recovery also
+// exercises the manifest-missing path.
+type TornStore struct {
+	inner    ft.CheckpointStore
+	failSeal atomic.Bool
+	torn     atomic.Int64
+}
+
+// NewTornStore wraps inner.
+func NewTornStore(inner ft.CheckpointStore) *TornStore { return &TornStore{inner: inner} }
+
+// ArmSealFailure makes every subsequent Seal fail (until Disarm).
+func (s *TornStore) ArmSealFailure() { s.failSeal.Store(true) }
+
+// Disarm restores normal sealing.
+func (s *TornStore) Disarm() { s.failSeal.Store(false) }
+
+// TornSeals returns how many seals were suppressed.
+func (s *TornStore) TornSeals() int64 { return s.torn.Load() }
+
+// Begin implements ft.CheckpointStore.
+func (s *TornStore) Begin(id uint64) (ft.CheckpointWriter, error) {
+	w, err := s.inner.Begin(id)
+	if err != nil {
+		return nil, err
+	}
+	return &tornWriter{inner: w, store: s}, nil
+}
+
+// LatestComplete implements ft.CheckpointStore.
+func (s *TornStore) LatestComplete() (*ft.Checkpoint, error) { return s.inner.LatestComplete() }
+
+// Drop implements ft.CheckpointStore.
+func (s *TornStore) Drop(id uint64) error { return s.inner.Drop(id) }
+
+type tornWriter struct {
+	inner ft.CheckpointWriter
+	store *TornStore
+}
+
+func (w *tornWriter) PutOffset(source string, offset int) error {
+	return w.inner.PutOffset(source, offset)
+}
+
+func (w *tornWriter) PutState(op string, state []byte) error {
+	return w.inner.PutState(op, state)
+}
+
+func (w *tornWriter) Seal() error {
+	if w.store.failSeal.Load() {
+		w.store.torn.Add(1)
+		return errTornSeal
+	}
+	return w.inner.Seal()
+}
+
+var errTornSeal = tornSealError{}
+
+type tornSealError struct{}
+
+func (tornSealError) Error() string { return "harness: seal suppressed by fault injection" }
+
+// FaultPlan arms one crash at one protocol point, the first time that
+// point is reached during or after round AfterRound.
+type FaultPlan struct {
+	Point      FaultPoint
+	AfterRound uint64
+}
+
+// Arm installs the plan on the manager's event stream. The returned
+// Crash fires when the fault strikes; store seal suppression is armed
+// where the point requires it.
+func (fp FaultPlan) Arm(mgr *ft.Manager, store *TornStore, crash *Crash) {
+	if fp.Point == FaultNone {
+		return
+	}
+	mgr.OnEvent(func(ev ft.Event) {
+		if crash.Fired() || ev.ID < fp.AfterRound {
+			return
+		}
+		switch {
+		case fp.Point == FaultBetweenSaveAndAck && ev.Stage == "save":
+			// The snapshot is staged in memory; the crash makes the whole
+			// round non-durable before any ack can matter.
+			store.ArmSealFailure()
+			crash.Fire()
+		case fp.Point == FaultBeforeSeal && ev.Stage == "complete":
+			store.ArmSealFailure()
+			crash.Fire()
+		case fp.Point == FaultAfterSeal && ev.Stage == "sealed":
+			crash.Fire()
+		case fp.Point == FaultMidDrain && ev.Stage == "offset":
+			store.ArmSealFailure()
+			crash.Fire()
+		}
+	})
+}

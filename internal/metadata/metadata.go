@@ -12,6 +12,8 @@
 package metadata
 
 import (
+	"encoding/gob"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -344,6 +346,13 @@ func (t *monitorTap) Process(e temporal.Element, _ int) {
 // Done implements pubsub.Sink.
 func (t *monitorTap) Done(_ int) { (*Monitored)(t).SignalDone() }
 
+// HandleControl implements pubsub.ControlSink: control elements leaving
+// the inner node exit the decorator unchanged, keeping their position in
+// the re-published stream.
+func (t *monitorTap) HandleControl(c pubsub.Control, _ int) {
+	(*Monitored)(t).TransferControl(c)
+}
+
 // Inner returns the decorated pipe.
 func (m *Monitored) Inner() pubsub.Pipe { return m.inner }
 
@@ -432,6 +441,59 @@ func (m *Monitored) Process(e temporal.Element, input int) {
 // Done implements pubsub.Sink.
 func (m *Monitored) Done(input int) {
 	m.inner.Done(input)
+}
+
+// HandleControl implements pubsub.ControlSink: control elements (e.g.
+// checkpoint barriers, see internal/ft) pass into the inner node in
+// stream position; the tap re-publishes them on the way out. An inner
+// node that is not control-aware is skipped — the control exits the
+// decorator directly, preserving the contract that plain sinks never
+// see controls.
+func (m *Monitored) HandleControl(c pubsub.Control, input int) {
+	if cs, ok := m.inner.(pubsub.ControlSink); ok {
+		cs.HandleControl(c, input)
+		return
+	}
+	m.TransferControl(c)
+}
+
+// BarrierGate implements pubsub.Gated by delegating to the inner node,
+// so barrier alignment at a decorated multi-input operator holds and
+// replays elements exactly as it would undecorated. Held elements are
+// replayed through the decorator (the upstream subscription's sink),
+// keeping the metadata counts exact across an alignment.
+func (m *Monitored) BarrierGate() *pubsub.Gate {
+	if g, ok := m.inner.(pubsub.Gated); ok {
+		return g.BarrierGate()
+	}
+	return nil
+}
+
+// SetBarrierHooks delegates checkpoint hook installation to the inner
+// node (see internal/ft), so a decorated operator can be registered with
+// the checkpoint manager without unwrapping.
+func (m *Monitored) SetBarrierHooks(save, ack func(pubsub.Barrier)) {
+	if h, ok := m.inner.(interface{ SetBarrierHooks(_, _ func(pubsub.Barrier)) }); ok {
+		h.SetBarrierHooks(save, ack)
+	}
+}
+
+// SaveState delegates operator-state serialisation to the inner node
+// (see internal/ft.StateSaver).
+func (m *Monitored) SaveState(enc *gob.Encoder) error {
+	if s, ok := m.inner.(interface{ SaveState(*gob.Encoder) error }); ok {
+		return s.SaveState(enc)
+	}
+	return fmt.Errorf("metadata: %s holds no serialisable state", m.inner.Name())
+}
+
+// LoadState delegates operator-state restoration to the inner node
+// (see internal/ft.StateLoader).
+func (m *Monitored) LoadState(dec *gob.Decoder) error {
+	if l, ok := m.inner.(interface{ LoadState(*gob.Decoder) error }); ok {
+		return l.LoadState(dec)
+	}
+	return fmt.Errorf("metadata: %s holds no serialisable state", m.inner.Name())
 }
 
 func (m *Monitored) recordOut(e temporal.Element) {

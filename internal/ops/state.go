@@ -1,0 +1,339 @@
+// Checkpoint state serialisation for the stateful operators. Each
+// operator exposes SaveState/LoadState (the structural contract
+// internal/ft declares as StateSaver/StateLoader — declared there, not
+// here, so ops stays free of an ft import) encoding exactly the
+// information a rebuilt operator needs to continue from a barrier cut:
+//
+//   - SaveState is invoked by the barrier save hook under ProcMu — the
+//     operator is quiescent — and therefore takes no locks itself. It
+//     must not do I/O: it writes into the coordinator's staging encoder
+//     (a memory buffer); the durable write happens off the hot path.
+//   - LoadState runs on a freshly constructed, not-yet-started operator.
+//   - Trace slots are dropped: element traces are diagnostic context of
+//     the run that produced them and do not survive a crash (restored
+//     elements carry an explicit nil trace).
+//   - Auxiliary structures derivable from the primary state (group
+//     expiry events, holdback heaps, partition heads) are rebuilt rather
+//     than serialised; the difference/intersect expiry heap is the one
+//     exception — its entries cannot be recovered from the per-key
+//     counters — and is serialised verbatim.
+//   - Input-done flags and order-buffer done marks are NOT saved:
+//     recovery replays every source, so end-of-stream is re-signalled
+//     (or not) by the replayed inputs themselves.
+package ops
+
+import (
+	"encoding/gob"
+
+	"pipes/internal/aggregate"
+	"pipes/internal/temporal"
+	"pipes/internal/xds"
+)
+
+// wireElem is one element on the wire: the value and interval, with the
+// trace slot deliberately dropped.
+type wireElem struct {
+	Value any
+	Start temporal.Time
+	End   temporal.Time
+}
+
+func toWire(es []temporal.Element) []wireElem {
+	out := make([]wireElem, len(es))
+	for i, e := range es {
+		out[i] = wireElem{Value: e.Value, Start: e.Start, End: e.End}
+	}
+	return out
+}
+
+func fromWire(ws []wireElem) []temporal.Element {
+	out := make([]temporal.Element, len(ws))
+	for i, w := range ws {
+		out[i] = temporal.Element{
+			Value:    w.Value,
+			Interval: temporal.Interval{Start: w.Start, End: w.End},
+			Trace:    nil, // traces do not survive a crash
+		}
+	}
+	return out
+}
+
+func init() {
+	// Concrete types that travel inside the `any` slots of checkpointed
+	// state. Users with custom value or key types register them with
+	// ft.RegisterType (an alias of gob.Register).
+	gob.Register(Pair{})
+	gob.Register(GroupResult{})
+	gob.Register(globalGroup{})
+}
+
+// orderBufferState is the serialised form of an orderBuffer: the pending
+// (unreleased) results and the per-input watermarks. Done marks are
+// re-established by the replayed inputs.
+type orderBufferState struct {
+	Pending []wireElem
+	WM      []temporal.Time
+}
+
+func (b *orderBuffer) saveState() orderBufferState {
+	return orderBufferState{Pending: toWire(b.heap.Items()), WM: append([]temporal.Time(nil), b.wm...)}
+}
+
+func (b *orderBuffer) loadState(st orderBufferState) {
+	for _, e := range fromWire(st.Pending) {
+		b.heap.Push(e)
+	}
+	copy(b.wm, st.WM)
+}
+
+// joinState is the serialised form of a Join: both sweep areas plus the
+// pending output. Area entry order is not preserved — area semantics are
+// insertion-order independent.
+type joinState struct {
+	Areas [2][]wireElem
+	Out   orderBufferState
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (j *Join) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(joinState{
+		Areas: [2][]wireElem{toWire(j.areas[0].Items()), toWire(j.areas[1].Items())},
+		Out:   j.out.saveState(),
+	})
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (j *Join) LoadState(dec *gob.Decoder) error {
+	var st joinState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		for _, e := range fromWire(st.Areas[i]) {
+			j.areas[i].Insert(e)
+		}
+	}
+	j.out.loadState(st.Out)
+	return nil
+}
+
+// groupState is one live group: its key, open-span left boundary and live
+// element multiset. The aggregate is rebuilt by re-inserting the live
+// elements (for invertible aggregates every expired removal has already
+// been applied, so the live multiset reproduces the aggregate exactly).
+type groupState struct {
+	Key    any
+	LB     temporal.Time
+	Active []wireElem
+}
+
+type groupByState struct {
+	Groups []groupState
+	Out    orderBufferState
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (g *GroupBy) SaveState(enc *gob.Encoder) error {
+	st := groupByState{Out: g.out.saveState()}
+	for k, grp := range g.groups {
+		st.Groups = append(st.Groups, groupState{Key: k, LB: grp.lb, Active: toWire(grp.active.Items())})
+	}
+	return enc.Encode(st)
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (g *GroupBy) LoadState(dec *gob.Decoder) error {
+	var st groupByState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	for _, gs := range st.Groups {
+		agg := g.factory()
+		inv, _ := agg.(aggregate.Invertible)
+		grp := &group{
+			active: xds.NewHeap[temporal.Element](func(a, b temporal.Element) bool { return a.End < b.End }),
+			agg:    agg,
+			inv:    inv,
+			lb:     gs.LB,
+		}
+		for _, e := range fromWire(gs.Active) {
+			grp.active.Push(e)
+			grp.agg.Insert(e.Value)
+			// One expiry event per live element: exactly the non-stale
+			// subset of the original heap.
+			g.expiry.Push(expiryEvent{end: e.End, key: gs.Key})
+		}
+		g.groups[gs.Key] = grp
+		g.lows.Push(lowEntry{lb: grp.lb, key: gs.Key})
+	}
+	g.out.loadState(st.Out)
+	return nil
+}
+
+// diffKeyState is one per-key multiplicity record of Difference/Intersect.
+type diffKeyState struct {
+	Key    any
+	Value  any
+	Counts [2]int
+	LB     temporal.Time
+}
+
+// wireDiffExpiry mirrors diffExpiry. The expiry heap is serialised
+// verbatim: which interval ends remain pending per input is not
+// recoverable from the counters alone.
+type wireDiffExpiry struct {
+	End   temporal.Time
+	Key   any
+	Input int
+}
+
+type diffOpState struct {
+	Keys   []diffKeyState
+	Expiry []wireDiffExpiry
+	InQ    [2][]wireElem
+	Out    orderBufferState
+}
+
+func saveDiffLike(state map[any]*diffState, expiry *xds.Heap[diffExpiry], inQ [2]xds.Queue[temporal.Element], out *orderBuffer) diffOpState {
+	st := diffOpState{
+		InQ: [2][]wireElem{toWire(inQ[0].Items()), toWire(inQ[1].Items())},
+		Out: out.saveState(),
+	}
+	for k, ds := range state {
+		st.Keys = append(st.Keys, diffKeyState{Key: k, Value: ds.value, Counts: ds.counts, LB: ds.lb})
+	}
+	for _, ev := range expiry.Items() {
+		st.Expiry = append(st.Expiry, wireDiffExpiry{End: ev.end, Key: ev.key, Input: ev.input})
+	}
+	return st
+}
+
+func loadDiffLike(st diffOpState, state map[any]*diffState, expiry *xds.Heap[diffExpiry], lows *xds.Heap[lowEntry], inQ [2]xds.Queue[temporal.Element], out *orderBuffer) {
+	for _, ks := range st.Keys {
+		state[ks.Key] = &diffState{value: ks.Value, counts: ks.Counts, lb: ks.LB}
+		lows.Push(lowEntry{lb: ks.LB, key: ks.Key})
+	}
+	for _, ev := range st.Expiry {
+		expiry.Push(diffExpiry{end: ev.End, key: ev.Key, input: ev.Input})
+	}
+	for i := 0; i < 2; i++ {
+		for _, e := range fromWire(st.InQ[i]) {
+			inQ[i].Enqueue(e)
+		}
+	}
+	out.loadState(st.Out)
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (d *Difference) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(saveDiffLike(d.state, d.expiry, d.inQ, d.out))
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (d *Difference) LoadState(dec *gob.Decoder) error {
+	var st diffOpState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	loadDiffLike(st, d.state, d.expiry, d.lows, d.inQ, d.out)
+	return nil
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (in *Intersect) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(saveDiffLike(in.state, in.expiry, in.inQ, in.out))
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (in *Intersect) LoadState(dec *gob.Decoder) error {
+	var st diffOpState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	loadDiffLike(st, in.state, in.expiry, in.lows, in.inQ, in.out)
+	return nil
+}
+
+// unionState is the serialised form of a Union: only the pending output.
+type unionState struct {
+	Out orderBufferState
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (u *Union) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(unionState{Out: u.out.saveState()})
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (u *Union) LoadState(dec *gob.Decoder) error {
+	var st unionState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	u.out.loadState(st.Out)
+	return nil
+}
+
+// countWindowState is the serialised form of a CountWindow: the not-yet-
+// displaced elements in arrival order.
+type countWindowState struct {
+	Buf []wireElem
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (w *CountWindow) SaveState(enc *gob.Encoder) error {
+	return enc.Encode(countWindowState{Buf: toWire(w.buf.Items())})
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (w *CountWindow) LoadState(dec *gob.Decoder) error {
+	var st countWindowState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	for _, e := range fromWire(st.Buf) {
+		w.buf.Enqueue(e)
+	}
+	return nil
+}
+
+// partitionState is one partition of a PartitionedWindow, in arrival
+// order; the heads heap is rebuilt from the restored queue heads.
+type partitionState struct {
+	Key   any
+	Elems []wireElem
+}
+
+type partWindowState struct {
+	Parts []partitionState
+	Out   orderBufferState
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (w *PartitionedWindow) SaveState(enc *gob.Encoder) error {
+	st := partWindowState{Out: w.out.saveState()}
+	for k, q := range w.part {
+		st.Parts = append(st.Parts, partitionState{Key: k, Elems: toWire(q.Items())})
+	}
+	return enc.Encode(st)
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (w *PartitionedWindow) LoadState(dec *gob.Decoder) error {
+	var st partWindowState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	for _, ps := range st.Parts {
+		q := xds.NewQueue[temporal.Element]()
+		for _, e := range fromWire(ps.Elems) {
+			q.Enqueue(e)
+		}
+		w.part[ps.Key] = q
+		if head, ok := q.Peek(); ok {
+			w.heads.Push(partHead{start: head.Start, key: ps.Key})
+		}
+	}
+	w.out.loadState(st.Out)
+	return nil
+}

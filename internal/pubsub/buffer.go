@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"encoding/gob"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,9 +13,12 @@ import (
 
 // queued is one buffered element plus its enqueue wall-stamp (0 when
 // queue-time telemetry is off, so the hot path pays no clock read).
+// When ctl is non-nil the entry is an in-band control element occupying
+// its stream position in the queue, and e is zero.
 type queued struct {
-	e  temporal.Element
-	at int64
+	e   temporal.Element
+	at  int64
+	ctl Control
 }
 
 // Clock is the injectable time source for queue-time telemetry. It is
@@ -107,6 +111,17 @@ func (b *Buffer) Process(e temporal.Element, _ int) {
 	b.mu.Unlock()
 }
 
+// HandleControl implements ControlSink by enqueueing the control at its
+// arrival position: it is re-published by the Drain call that dequeues
+// it, after every data element that preceded it — FIFO passage is what
+// lets checkpoints treat buffer contents as pre-barrier state recorded
+// upstream (see FAULT_TOLERANCE.md).
+func (b *Buffer) HandleControl(c Control, _ int) {
+	b.mu.Lock()
+	b.q.Enqueue(queued{ctl: c})
+	b.mu.Unlock()
+}
+
 // Done implements Sink. Completion propagates immediately if the buffer is
 // empty and no drain is in flight, otherwise on the Drain call that
 // empties it.
@@ -136,6 +151,12 @@ func (b *Buffer) Drain(max int) int {
 			break
 		}
 		b.mu.Unlock()
+		if qe.ctl != nil {
+			b.TransferControl(qe.ctl)
+			n++
+			b.mu.Lock()
+			continue
+		}
 		if qe.at != 0 {
 			wait := b.now() - qe.at
 			if h := b.queueHist.Load(); h != nil {
@@ -156,6 +177,63 @@ func (b *Buffer) Drain(max int) int {
 		b.SignalDone()
 	}
 	return n
+}
+
+// bufferState is the serialised checkpoint form of a Buffer: the queued
+// data elements with trace slots and telemetry stamps dropped. Controls
+// are not saved — a checkpoint is only sealed after its barrier drained
+// through, and any later control belongs to the next round.
+//
+// Note that barrier checkpoints never actually need this: the barrier is
+// enqueued behind all pre-barrier data, so by the time downstream
+// operators snapshot (on barrier receipt) every pre-barrier element has
+// drained out of the buffer and into their state (see FAULT_TOLERANCE.md).
+// Save/LoadState exist for completeness — e.g. quiesced whole-graph
+// suspension, where buffers may hold data.
+type bufferState struct {
+	Elems []struct {
+		Value any
+		Start temporal.Time
+		End   temporal.Time
+	}
+}
+
+// SaveState implements the ft.StateSaver contract. Unlike operator
+// SaveState it locks internally: Buffer has no ProcMu and the barrier
+// protocol never calls this on the hot path.
+func (b *Buffer) SaveState(enc *gob.Encoder) error {
+	b.mu.Lock()
+	var st bufferState
+	for _, qe := range b.q.Items() {
+		if qe.ctl != nil {
+			continue
+		}
+		st.Elems = append(st.Elems, struct {
+			Value any
+			Start temporal.Time
+			End   temporal.Time
+		}{qe.e.Value, qe.e.Start, qe.e.End})
+	}
+	b.mu.Unlock()
+	return enc.Encode(st)
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (b *Buffer) LoadState(dec *gob.Decoder) error {
+	var st bufferState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	for _, w := range st.Elems {
+		b.q.Enqueue(queued{e: temporal.Element{
+			Value:    w.Value,
+			Interval: temporal.Interval{Start: w.Start, End: w.End},
+			Trace:    nil,
+		}})
+	}
+	b.mu.Unlock()
+	return nil
 }
 
 // Len returns the number of buffered elements.

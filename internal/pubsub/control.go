@@ -1,0 +1,280 @@
+// Control-element channel: in-band punctuations that flow through the
+// query graph in stream order, alongside (never overtaking, never
+// overtaken by) data elements. The fault-tolerance subsystem
+// (internal/ft, FAULT_TOLERANCE.md) uses it to carry checkpoint barriers;
+// the design follows punctuation-based inter-operator feedback
+// (Fernández-Moctezuma et al.): a control element injected at a source
+// between two data elements reaches every downstream node at exactly that
+// position of the stream.
+//
+// Delivery rules:
+//
+//   - Direct connections: TransferControl hands the control synchronously
+//     to every subscriber implementing ControlSink; plain sinks
+//     (collectors, archives) do not see controls.
+//   - Buffers: controls are enqueued in FIFO position with the data and
+//     re-published when drained, so they keep their stream position
+//     across scheduler boundaries.
+//   - Multi-input operators: barriers align. The first barrier of a round
+//     blocks its input — subsequently published data elements on that
+//     input are held inside the operator's Gate, not processed — until
+//     the same barrier has arrived on every other open input. On
+//     alignment the operator snapshots (OnBarrier hook, under ProcMu),
+//     forwards the barrier downstream, replays the held elements and
+//     finally acks. Inputs that have signalled done count as aligned.
+//
+// Everything here is strictly pay-for-what-you-use: a graph that never
+// sees a control element pays one nil pointer check per Transfer on
+// multi-input edges and nothing anywhere else.
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pipes/internal/temporal"
+)
+
+// Control is an in-band control element (punctuation). Controls travel
+// through the graph in stream order but carry no snapshot content: they
+// are invisible to the operator algebra and to plain sinks.
+type Control interface {
+	// ControlString renders the control for logs and EXPLAIN output.
+	ControlString() string
+}
+
+// Barrier is the checkpoint punctuation of the fault-tolerance subsystem:
+// all state changes caused by elements published before the barrier
+// belong to checkpoint ID, all later ones do not. Payload carries the
+// coordinator's per-round state (opaque to pubsub).
+type Barrier struct {
+	ID      uint64
+	Payload any
+}
+
+// ControlString implements Control.
+func (b Barrier) ControlString() string { return fmt.Sprintf("barrier#%d", b.ID) }
+
+// ControlSink is implemented by sinks that participate in control flow.
+// Sinks that do not implement it simply never see controls.
+type ControlSink interface {
+	// HandleControl consumes one control element arriving on the given
+	// input. Like Process it is invoked synchronously by the publishing
+	// source and must be serialised by the caller per input edge.
+	HandleControl(c Control, input int)
+}
+
+// Gated is implemented by sinks whose inputs can be blocked during
+// barrier alignment. Subscribe caches the gate in the subscription so
+// Transfer can consult it without a per-element type assertion.
+type Gated interface {
+	// BarrierGate returns the alignment gate, or nil when the sink never
+	// blocks (single-input operators).
+	BarrierGate() *Gate
+}
+
+// TransferControl publishes a control element synchronously to every
+// subscribed ControlSink, in subscriber order. Callers must serialise
+// TransferControl with their own Transfer/SignalDone sequence, exactly
+// like Transfer — the control takes the stream position of the call.
+func (s *SourceBase) TransferControl(c Control) {
+	for _, sub := range s.loadSubs() {
+		if cs, ok := sub.Sink.(ControlSink); ok {
+			cs.HandleControl(c, sub.Input)
+		}
+	}
+}
+
+// heldElem is one data element parked during barrier alignment.
+type heldElem struct {
+	e     temporal.Element
+	input int
+}
+
+// Gate blocks individual inputs of a multi-input operator during barrier
+// alignment. The unblocked fast path is a single atomic load; the blocked
+// path locks and parks the element in arrival order.
+type Gate struct {
+	blocked atomic.Uint64 // bitmask of currently blocked inputs
+
+	mu   sync.Mutex
+	sink Sink // the operator (set on first hold; replay target)
+	held []heldElem
+}
+
+// deliver intercepts one published element. It returns true when the
+// element was parked (the caller must not invoke Process) and false when
+// the input is open and the caller should deliver normally.
+func (g *Gate) deliver(e temporal.Element, input int, sink Sink) bool {
+	if g.blocked.Load()&(1<<uint(input)) == 0 {
+		return false
+	}
+	g.mu.Lock()
+	// Re-check under the lock: an unblock may have completed in between,
+	// and once it has, parking would reorder this element behind none.
+	if g.blocked.Load()&(1<<uint(input)) == 0 {
+		g.mu.Unlock()
+		return false
+	}
+	g.sink = sink
+	g.held = append(g.held, heldElem{e: e, input: input})
+	g.mu.Unlock()
+	return true
+}
+
+// block marks input as blocked: subsequently published elements on it are
+// parked until release.
+func (g *Gate) block(input int) {
+	g.mu.Lock()
+	g.blocked.Store(g.blocked.Load() | 1<<uint(input))
+	g.mu.Unlock()
+}
+
+// release unblocks every input and replays the parked elements, in
+// arrival order, into the operator. Publishers racing with the replay
+// keep parking (the mask stays set until the backlog is empty), so
+// per-edge order is preserved; the mask is cleared under the lock only
+// when no parked element remains.
+func (g *Gate) release() {
+	for {
+		g.mu.Lock()
+		if len(g.held) == 0 {
+			g.blocked.Store(0)
+			g.mu.Unlock()
+			return
+		}
+		batch := g.held
+		sink := g.sink
+		g.held = nil
+		g.mu.Unlock()
+		for _, h := range batch {
+			sink.Process(h.e, h.input)
+		}
+	}
+}
+
+// Held returns the number of currently parked elements (for tests and
+// memory accounting).
+func (g *Gate) Held() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.held)
+}
+
+// barrierState is the per-operator alignment bookkeeping embedded in
+// PipeBase. All fields are guarded by its own mutex — never by ProcMu —
+// so control handling can run concurrently with data processing on other
+// inputs.
+type barrierState struct {
+	mu       sync.Mutex
+	cur      *Barrier // barrier currently aligning, nil when idle
+	seen     uint64   // inputs the current barrier arrived on
+	lastDone uint64   // highest barrier ID already handled (dedupe)
+}
+
+// SetBarrierHooks installs the checkpoint callbacks: save runs under
+// ProcMu once the barrier has aligned, before it is forwarded downstream
+// (the operator is quiescent — serialise state here, do no I/O); ack runs
+// after the barrier has been forwarded and blocked inputs replayed (the
+// coordinator hand-off — see internal/ft). Either may be nil. Install
+// hooks before the graph starts; they are not synchronised against a
+// running graph.
+func (p *PipeBase) SetBarrierHooks(save, ack func(Barrier)) {
+	p.onBarrierSave = save
+	p.onBarrierAck = ack
+}
+
+// BarrierGate implements Gated: only multi-input operators ever block.
+func (p *PipeBase) BarrierGate() *Gate {
+	if p.inputs <= 1 {
+		return nil
+	}
+	return &p.gate
+}
+
+// HandleControl implements ControlSink for every operator embedding
+// PipeBase: barriers align across inputs (see the package comment);
+// non-barrier controls are forwarded downstream unchanged on first
+// receipt per input, without alignment.
+func (p *PipeBase) HandleControl(c Control, input int) {
+	b, isBarrier := c.(Barrier)
+	if !isBarrier {
+		p.TransferControl(c)
+		return
+	}
+	p.barrier.mu.Lock()
+	if b.ID <= p.barrier.lastDone {
+		// Duplicate (a closed input delivering late) — already handled.
+		p.barrier.mu.Unlock()
+		return
+	}
+	if p.barrier.cur == nil || p.barrier.cur.ID != b.ID {
+		// A new round. With one outstanding checkpoint at a time (the
+		// coordinator's contract) an older pending round can only mean
+		// its remaining inputs died; adopt the newer barrier.
+		p.barrier.cur = &b
+		p.barrier.seen = 0
+	}
+	p.barrier.seen |= 1 << uint(input)
+	covered := p.barrier.seen | p.closedMask.Load()
+	all := uint64(1)<<uint(p.inputs) - 1
+	if covered&all != all {
+		// Not aligned yet: block this input until the others catch up.
+		p.gate.block(input)
+		p.barrier.mu.Unlock()
+		return
+	}
+	p.barrier.cur = nil
+	p.barrier.lastDone = b.ID
+	p.barrier.mu.Unlock()
+	p.completeBarrier(b)
+}
+
+// completeBarrier runs the aligned path. The caller must have retired the
+// round under barrier.mu first (cur=nil, lastDone=ID).
+func (p *PipeBase) completeBarrier(b Barrier) {
+	// 1: snapshot while quiescent. Blocked inputs are parked in the gate
+	// and the aligning input's publisher is inside this call chain, so no
+	// data element can enter Process between the snapshot and the forward.
+	if p.onBarrierSave != nil {
+		p.ProcMu.Lock()
+		p.onBarrierSave(b)
+		p.ProcMu.Unlock()
+	}
+	// 2: forward downstream before anything post-barrier is processed.
+	p.TransferControl(b)
+	// 3: replay parked elements — their results are post-barrier.
+	if p.inputs > 1 {
+		p.gate.release()
+	}
+	// 4: hand the round back to the coordinator. Runs after the forward
+	// so that when every operator has acked, every direct subscriber
+	// (sinks included) has seen the barrier.
+	if p.onBarrierAck != nil {
+		p.onBarrierAck(b)
+	}
+}
+
+// barrierInputClosed re-checks a pending alignment after an input
+// signalled done: inputs that will never deliver the barrier count as
+// aligned, otherwise a source finishing between two checkpoints would
+// stall the round forever. Called by Done outside ProcMu.
+func (p *PipeBase) barrierInputClosed() {
+	p.barrier.mu.Lock()
+	if p.barrier.cur == nil {
+		p.barrier.mu.Unlock()
+		return
+	}
+	covered := p.barrier.seen | p.closedMask.Load()
+	all := uint64(1)<<uint(p.inputs) - 1
+	if covered&all != all {
+		p.barrier.mu.Unlock()
+		return
+	}
+	b := *p.barrier.cur
+	p.barrier.cur = nil
+	p.barrier.lastDone = b.ID
+	p.barrier.mu.Unlock()
+	p.completeBarrier(b)
+}

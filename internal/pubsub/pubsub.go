@@ -67,6 +67,11 @@ type Pipe interface {
 type Subscription struct {
 	Sink  Sink
 	Input int
+
+	// gate is the sink's barrier-alignment gate, cached at Subscribe time
+	// so Transfer avoids a per-element type assertion. Nil for sinks that
+	// never block (everything except multi-input operators).
+	gate *Gate
 }
 
 // ErrDone is returned by Subscribe when the source has already signalled
@@ -137,7 +142,11 @@ func (s *SourceBase) Subscribe(sink Sink, input int) error {
 	}
 	next := make([]Subscription, len(cur)+1)
 	copy(next, cur)
-	next[len(cur)] = Subscription{Sink: sink, Input: input}
+	sub := Subscription{Sink: sink, Input: input}
+	if g, ok := sink.(Gated); ok {
+		sub.gate = g.BarrierGate()
+	}
+	next[len(cur)] = sub
 	s.subs.Store(&next)
 	return nil
 }
@@ -177,6 +186,9 @@ func (s *SourceBase) Transfer(e temporal.Element) {
 		e = (*h)(e)
 	}
 	for _, sub := range s.loadSubs() {
+		if sub.gate != nil && sub.gate.deliver(e, sub.Input, sub.Sink) {
+			continue // parked during barrier alignment; replayed on release
+		}
 		sub.Sink.Process(e, sub.Input)
 	}
 }
@@ -234,6 +246,17 @@ type PipeBase struct {
 	inputs int
 	closed []bool
 	open   int
+
+	// closedMask mirrors closed as an atomic bitmask so barrier alignment
+	// (control.go) can treat done inputs as aligned without taking ProcMu.
+	closedMask atomic.Uint64
+
+	// Barrier-alignment state (control.go). gate parks elements of blocked
+	// inputs; the hooks are the checkpoint coordinator's taps.
+	gate          Gate
+	barrier       barrierState
+	onBarrierSave func(Barrier)
+	onBarrierAck  func(Barrier)
 }
 
 // NewPipeBase returns a PipeBase for an operator with the given number of
@@ -241,6 +264,9 @@ type PipeBase struct {
 func NewPipeBase(name string, inputs int) PipeBase {
 	if inputs <= 0 {
 		panic("pubsub: operator arity must be positive")
+	}
+	if inputs > 64 {
+		panic("pubsub: operator arity exceeds 64 (closedMask/barrier bitmask width)")
 	}
 	return PipeBase{
 		SourceBase: NewSourceBase(name),
@@ -263,6 +289,7 @@ func (p *PipeBase) Done(input int) {
 		return
 	}
 	p.closed[input] = true
+	p.closedMask.Store(p.closedMask.Load() | 1<<uint(input))
 	p.open--
 	last := p.open == 0
 	if p.OnInputDone != nil {
@@ -272,6 +299,7 @@ func (p *PipeBase) Done(input int) {
 		p.OnAllDone()
 	}
 	p.ProcMu.Unlock()
+	p.barrierInputClosed()
 	if last {
 		p.SignalDone()
 	}

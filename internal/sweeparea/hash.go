@@ -110,6 +110,17 @@ func (h *Hash) remove(he hashEntry) bool {
 	return true
 }
 
+// Items implements SweepArea.
+func (h *Hash) Items() []temporal.Element {
+	out := make([]temporal.Element, 0, h.size)
+	for _, b := range h.buckets {
+		for _, e := range b {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Len implements SweepArea.
 func (h *Hash) Len() int { return h.size }
 

@@ -42,6 +42,11 @@ type SweepArea interface {
 	Len() int
 	// MemoryUsage returns the approximate footprint in bytes.
 	MemoryUsage() int
+	// Items returns a snapshot of every stored element, in unspecified
+	// order. Checkpointing serialises areas through it and restores them
+	// by re-Inserting — correct because area semantics are
+	// insertion-order independent.
+	Items() []temporal.Element
 }
 
 // bytesPerEntry is the bookkeeping estimate for one stored element
@@ -119,6 +124,13 @@ func (l *List) Shed(n int) int {
 		l.entries = l.entries[:last]
 	}
 	return n
+}
+
+// Items implements SweepArea.
+func (l *List) Items() []temporal.Element {
+	out := make([]temporal.Element, len(l.entries))
+	copy(out, l.entries)
+	return out
 }
 
 // Len implements SweepArea.

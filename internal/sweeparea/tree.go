@@ -108,6 +108,15 @@ func (t *Tree) Shed(n int) int {
 	return removed
 }
 
+// Items implements SweepArea.
+func (t *Tree) Items() []temporal.Element {
+	out := make([]temporal.Element, len(t.entries))
+	for i, te := range t.entries {
+		out[i] = te.elem
+	}
+	return out
+}
+
 // Len implements SweepArea.
 func (t *Tree) Len() int { return len(t.entries) }
 

@@ -24,6 +24,10 @@ type Queue[T any] interface {
 	Peek() (v T, ok bool)
 	// Len returns the number of buffered elements.
 	Len() int
+	// Items returns a snapshot of the buffered elements in FIFO order
+	// (oldest first) without consuming them. Checkpointing serialises
+	// queues through it.
+	Items() []T
 }
 
 // ringQueue is an unbounded FIFO backed by a growable circular buffer.
@@ -79,6 +83,14 @@ func (q *ringQueue[T]) Peek() (T, bool) {
 }
 
 func (q *ringQueue[T]) Len() int { return q.size }
+
+func (q *ringQueue[T]) Items() []T {
+	out := make([]T, q.size)
+	for i := 0; i < q.size; i++ {
+		out[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	return out
+}
 
 func (q *ringQueue[T]) grow() {
 	n := len(q.buf) * 2

@@ -23,8 +23,10 @@ package pipes
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pipes/internal/cql"
+	"pipes/internal/ft"
 	"pipes/internal/memory"
 	"pipes/internal/metadata"
 	"pipes/internal/optimizer"
@@ -121,6 +123,18 @@ type Config struct {
 	// spans (0 with TelemetryAddr set defaults to 128; negative disables
 	// tracing even when the endpoint is on).
 	TraceEvery int
+	// CheckpointInterval enables the fault-tolerance subsystem (see
+	// FAULT_TOLERANCE.md): the engine periodically checkpoints every
+	// registered emitter stream's offset and every stateful query
+	// operator's state at this cadence. Recovery: rebuild the same graph,
+	// call RecoverLatest, replay sources from the returned offsets.
+	CheckpointInterval time.Duration
+	// CheckpointDir selects the durable file-backed checkpoint store. An
+	// empty dir with CheckpointInterval set keeps checkpoints in memory
+	// (tests; survives graph rebuilds but not the process). A non-empty
+	// dir with interval 0 enables on-demand checkpoints only
+	// (Checkpoints.Trigger).
+	CheckpointDir string
 }
 
 // DSMS is a prototype data stream management system assembled from the
@@ -142,6 +156,11 @@ type DSMS struct {
 	// always populated; Tracer is nil unless tracing is enabled.
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
+
+	// Checkpoints coordinates the fault-tolerance subsystem (nil unless
+	// Config enables checkpointing; see checkpoint.go).
+	Checkpoints *ft.Manager
+	ckptStore   ft.CheckpointStore
 
 	mu        sync.Mutex
 	queries   []*Query
@@ -205,6 +224,9 @@ func NewDSMS(cfg Config) *DSMS {
 			return m
 		})
 	}
+	if err := d.initCheckpoints(); err != nil {
+		panic(err.Error())
+	}
 	d.registerExports()
 	return d
 }
@@ -213,6 +235,10 @@ func NewDSMS(cfg Config) *DSMS {
 // for the cost model. If src is an active emitter it is additionally
 // scheduled when Start runs.
 func (d *DSMS) RegisterStream(name string, src pubsub.Source, rate float64) {
+	// With checkpointing on, emitter streams are wrapped so barrier rounds
+	// record their replay offsets (recovery replays an archive.ReplayFrom
+	// emitter through the same path). Offsets are keyed by src.Name().
+	src = d.checkpointSource(src)
 	d.Catalog.Register(name, src, rate)
 	d.Graph.AddRoot(src)
 	if d.Tracer != nil {
@@ -254,6 +280,7 @@ func (d *DSMS) RegisterQuery(text string) (*Query, error) {
 				q.memSubs = append(q.memSubs, d.Memory.Subscribe(u, d.cfg.Shedding, 1))
 			}
 		}
+		d.registerCheckpointed(p)
 	}
 	return q, nil
 }
@@ -292,6 +319,9 @@ func (d *DSMS) RegisterPlan(plan optimizer.Plan) (*Query, error) {
 	d.mu.Lock()
 	d.queries = append(d.queries, q)
 	d.mu.Unlock()
+	for _, p := range inst.Created {
+		d.registerCheckpointed(p)
+	}
 	return q, nil
 }
 
@@ -333,6 +363,9 @@ func (d *DSMS) Start() {
 	if err := d.startTelemetry(); err != nil {
 		panic(fmt.Sprintf("pipes: telemetry endpoint: %v", err))
 	}
+	if d.Checkpoints != nil {
+		d.Checkpoints.Start(d.cfg.CheckpointInterval)
+	}
 	d.Scheduler.Start()
 }
 
@@ -341,11 +374,17 @@ func (d *DSMS) Start() {
 func (d *DSMS) Wait() {
 	d.Scheduler.Wait()
 	d.Memory.Step()
+	if d.Checkpoints != nil {
+		d.Checkpoints.Stop() // drains a queued round; idempotent
+	}
 }
 
 // Stop aborts the scheduler and closes the telemetry endpoint.
 func (d *DSMS) Stop() {
 	d.Scheduler.Stop()
+	if d.Checkpoints != nil {
+		d.Checkpoints.Stop()
+	}
 	d.mu.Lock()
 	srv := d.tserver
 	d.tserver = nil
