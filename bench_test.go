@@ -175,3 +175,22 @@ func BenchmarkE19_CheckpointOverhead(b *testing.B) {
 	b.Run("file-1s", experiments.E19Checkpoint(experiments.CheckpointFile, time.Second))
 	b.Run("mem-100ms", experiments.E19Checkpoint(experiments.CheckpointMem, 100*time.Millisecond))
 }
+
+// E20: scalar vs batched transfer on the filter/map-dense traffic chain,
+// plus the E19 graph rerun on the batch lane (checkpoint overhead must
+// survive batching).
+func BenchmarkE20_BatchedTransfer(b *testing.B) {
+	b.Run("scalar", experiments.E20Batch(0, experiments.CheckpointOff, 0))
+	for _, f := range []int{1, 8, 64, 256} {
+		b.Run(bname("batch", f), experiments.E20Batch(f, experiments.CheckpointOff, 0))
+	}
+	b.Run("segment/scalar", experiments.E20Segment(0))
+	for _, f := range []int{1, 8, 64, 256} {
+		b.Run(bname("segment/batch", f), experiments.E20Segment(f))
+	}
+	b.Run("scalar-cp-1s", experiments.E20Batch(0, experiments.CheckpointMem, time.Second))
+	b.Run(bname("cp-1s/batch", 64), experiments.E20Batch(64, experiments.CheckpointMem, time.Second))
+	b.Run("e19-batch64/off", experiments.E19CheckpointBatched(experiments.CheckpointOff, 0, 64))
+	b.Run("e19-batch64/mem-1s", experiments.E19CheckpointBatched(experiments.CheckpointMem, time.Second, 64))
+	b.Run("e19-batch64/file-1s", experiments.E19CheckpointBatched(experiments.CheckpointFile, time.Second, 64))
+}

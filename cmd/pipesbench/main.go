@@ -156,6 +156,25 @@ func main() {
 		row("mem-1s", bench(experiments.E19Checkpoint(experiments.CheckpointMem, time.Second)))
 		row("file-1s", bench(experiments.E19Checkpoint(experiments.CheckpointFile, time.Second)))
 	}
+	if run("E20") {
+		section("E20 — batched transfer (filter/map-dense traffic chain, ns/element)")
+		row("scalar", bench(experiments.E20Batch(0, experiments.CheckpointOff, 0)))
+		for _, f := range []int{1, 8, 64, 256} {
+			row(fmt.Sprintf("batch=%d", f), bench(experiments.E20Batch(f, experiments.CheckpointOff, 0)))
+		}
+		section("E20 — filter/map-dense segment alone (selection/projection hops, ns/element)")
+		row("scalar", bench(experiments.E20Segment(0)))
+		for _, f := range []int{1, 8, 64, 256} {
+			row(fmt.Sprintf("batch=%d", f), bench(experiments.E20Segment(f)))
+		}
+		section("E20 — full query with checkpointing (ns/element)")
+		row("scalar+cp-1s", bench(experiments.E20Batch(0, experiments.CheckpointMem, time.Second)))
+		row("batch=64+cp-1s", bench(experiments.E20Batch(64, experiments.CheckpointMem, time.Second)))
+		section("E20 — checkpoint overhead on the batch lane (avg-HOV-speed query, frame=64, ns/element)")
+		row("off", bench(experiments.E19CheckpointBatched(experiments.CheckpointOff, 0, 64)))
+		row("mem-1s", bench(experiments.E19CheckpointBatched(experiments.CheckpointMem, time.Second, 64)))
+		row("file-1s", bench(experiments.E19CheckpointBatched(experiments.CheckpointFile, time.Second, 64)))
+	}
 }
 
 func section(title string) {

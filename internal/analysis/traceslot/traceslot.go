@@ -5,7 +5,8 @@
 // otherwise spans silently drop and latency attribution ends at the
 // first join/aggregate/window rewrite.
 //
-// In the operator packages (ops, aggregate, ft) the analyzer flags:
+// In the operator packages (ops, aggregate, ft, pubsub) the analyzer
+// flags:
 //
 //   - `temporal.Element{...}` composite literals without an explicit
 //     Trace field: the zero value is a silent drop;
@@ -39,8 +40,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope is where the contract applies: packages whose operators rewrite
-// elements.
-var scope = []string{"ops", "aggregate", "ft"}
+// elements. pubsub is in scope since the batch lane: the buffer and the
+// frame sources construct elements on the transfer path, where a
+// dropped trace ends attribution for every downstream hop.
+var scope = []string{"ops", "aggregate", "ft", "pubsub"}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !vetutil.InScope(pass.Pkg.Path(), scope...) {

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"pipes/internal/ft"
+)
+
+// TestE20LanesAgree guards the benchmark against measuring divergent
+// computations: every frame size must produce exactly the scalar lane's
+// output count on the same reading stream.
+func TestE20LanesAgree(t *testing.T) {
+	run := func(frame int) int64 {
+		src := e20Source("traffic", 20_000)
+		_, c, tasks := e20Graph(src)
+		e20Drive(src, frame, tasks)
+		return c.Count()
+	}
+	want := run(0)
+	if want == 0 {
+		t.Fatal("scalar lane produced no output")
+	}
+	for _, frame := range []int{1, 8, 64, 256} {
+		if got := run(frame); got != want {
+			t.Errorf("frame %d produced %d outputs, scalar lane %d", frame, got, want)
+		}
+	}
+}
+
+// TestE20CheckpointedLaneAgrees drives the batch lane with barrier
+// injection active: the punctuation cut must not change the data stream.
+func TestE20CheckpointedLaneAgrees(t *testing.T) {
+	src := e20Source("traffic", 20_000)
+	mgr := ft.NewManager(ft.NewMemStore())
+	cs := ft.NewCheckpointSource(src)
+	mgr.RegisterSource(cs)
+	g, c, tasks := e20Graph(cs)
+	mgr.RegisterOperator(g, g)
+	mgr.Start(time.Millisecond)
+	e20Drive(cs, 64, tasks)
+	mgr.Stop()
+
+	bare := e20Source("traffic", 20_000)
+	_, want, bareTasks := e20Graph(bare)
+	e20Drive(bare, 0, bareTasks)
+	if c.Count() != want.Count() {
+		t.Fatalf("checkpointed batch lane produced %d outputs, bare scalar lane %d",
+			c.Count(), want.Count())
+	}
+}

@@ -38,6 +38,19 @@ func init() {
 // snapshots and store writes off it; comparing ns/op against the bare
 // variant gives the per-element overhead.
 func E19Checkpoint(mode CheckpointMode, interval time.Duration) func(b *testing.B) {
+	return e19Checkpoint(mode, interval, 0)
+}
+
+// E19CheckpointBatched reruns E19 on the batch lane: the identical
+// optimizer-built graph driven frame elements per activation, with the
+// CheckpointSource injecting barriers strictly between frames (the
+// punctuation-cut rule). Comparing against E19Checkpoint shows whether
+// batching preserves the ≤15% checkpoint-overhead budget.
+func E19CheckpointBatched(mode CheckpointMode, interval time.Duration, frame int) func(b *testing.B) {
+	return e19Checkpoint(mode, interval, frame)
+}
+
+func e19Checkpoint(mode CheckpointMode, interval time.Duration, frame int) func(b *testing.B) {
 	return func(b *testing.B) {
 		gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: b.N})
 		cat := optimizer.NewCatalog()
@@ -99,7 +112,11 @@ func E19Checkpoint(mode CheckpointMode, interval time.Duration) func(b *testing.
 		if mgr != nil {
 			mgr.Start(interval)
 		}
-		pubsub.Drive(feed)
+		if frame > 0 {
+			pubsub.DriveBatched(feed.(pubsub.BatchEmitter), frame)
+		} else {
+			pubsub.Drive(feed)
+		}
 		if mgr != nil {
 			mgr.Stop()
 		}

@@ -52,6 +52,14 @@ type Manager struct {
 	onEvent func(Event)
 	started bool
 
+	// scratch holds one reusable gob-encode buffer per operator. Rounds
+	// never overlap (Trigger returns ErrRoundInFlight until the writer
+	// retires the current round), so by the time a round's saveState runs,
+	// the previous round's buffers have been fully consumed by the store
+	// write — reuse is safe and keeps a multi-megabyte snapshot from
+	// allocating (and garbage-collecting) fresh buffers every interval.
+	scratch map[string]*bytes.Buffer
+
 	writeCh chan *pending
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
@@ -88,6 +96,7 @@ func NewManager(store CheckpointStore) *Manager {
 		durHist: telemetry.NewHistogram(),
 		writeCh: make(chan *pending, 1),
 		stopCh:  make(chan struct{}),
+		scratch: map[string]*bytes.Buffer{},
 	}
 }
 
@@ -260,8 +269,15 @@ func (m *Manager) saveState(b pubsub.Barrier, name string, saver StateSaver) {
 	if p == nil {
 		return
 	}
-	var buf bytes.Buffer
-	err := saver.SaveState(gob.NewEncoder(&buf))
+	m.mu.Lock()
+	buf := m.scratch[name]
+	if buf == nil {
+		buf = &bytes.Buffer{}
+		m.scratch[name] = buf
+	}
+	m.mu.Unlock()
+	buf.Reset()
+	err := saver.SaveState(gob.NewEncoder(buf))
 	p.mu.Lock()
 	if err != nil {
 		// A snapshot that cannot serialise poisons the round: mark the
@@ -340,6 +356,15 @@ func (m *Manager) write(p *pending) {
 	m.lastUnixNanos.Store(time.Now().UnixNano())
 	m.completed.Add(1)
 	m.emit(Event{Stage: "sealed", ID: p.id})
+	// Retention: a freshly sealed round makes everything older than its
+	// predecessor dead weight — recovery reads LatestComplete and falls
+	// back at most one checkpoint on a torn write. Dropping here (still on
+	// the writer goroutine, off the hot path) caps the store at two rounds,
+	// which for MemStore also caps the live heap the collector must track.
+	// Best-effort: a failed drop never fails the round.
+	if p.id > 2 {
+		_ = m.store.Drop(p.id - 2)
+	}
 }
 
 func (m *Manager) writeStore(p *pending) error {

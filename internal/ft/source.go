@@ -48,6 +48,16 @@ func (t *csTap) Process(e temporal.Element, _ int) {
 	cs.Transfer(e)
 }
 
+// ProcessBatch implements pubsub.BatchSink: frames pass through whole,
+// advancing the replay offset by the frame length.
+func (t *csTap) ProcessBatch(b temporal.Batch, _ int) {
+	cs := (*CheckpointSource)(t)
+	cs.mu.Lock()
+	cs.offset += len(b)
+	cs.mu.Unlock()
+	cs.TransferBatch(b)
+}
+
 func (t *csTap) Done(_ int) {
 	cs := (*CheckpointSource)(t)
 	cs.mu.Lock()
@@ -81,6 +91,32 @@ func (cs *CheckpointSource) EmitNext() bool {
 		}
 	}
 	return cs.inner.EmitNext()
+}
+
+// EmitBatch implements pubsub.BatchEmitter: the punctuation-cut rule for
+// checkpoints. A pending barrier is injected strictly between frames —
+// before the next frame the inner source publishes — so the barrier's
+// stream position is a frame boundary and the replay offset counts exactly
+// the pre-barrier elements, exactly as in the scalar lane. An inner source
+// without batch support falls back to one element per call.
+func (cs *CheckpointSource) EmitBatch(max int) (int, bool) {
+	cs.mu.Lock()
+	req, onReq, off := cs.req, cs.onReq, cs.offset
+	cs.req = nil
+	cs.mu.Unlock()
+	if req != nil {
+		cs.TransferControl(*req)
+		if onReq != nil {
+			onReq(*req, cs.Name(), off)
+		}
+	}
+	if be, ok := cs.inner.(pubsub.BatchEmitter); ok {
+		return be.EmitBatch(max)
+	}
+	if !cs.inner.EmitNext() {
+		return 0, false
+	}
+	return 1, true
 }
 
 // RequestBarrier asks the source to inject b at its next emission (or

@@ -1,0 +1,502 @@
+// Scalar-vs-batch differential execution: the same plan is driven twice
+// by a deterministic single-threaded driver — once element-at-a-time
+// through the scalar transfer path (Transfer/Process) and once in frames
+// through the batch lane (TransferBatch/ProcessBatch) — and the two runs
+// must agree EXACTLY: identical output sequences, identical checkpoint
+// snapshots (byte-for-byte gob state) at every punctuation round, and
+// identical sink cut indices. This is a stronger oracle than snapshot
+// equivalence: the batch lane's contract (pubsub.BatchSink) is per-element
+// equivalence in frame order, so nothing — not even the physical emission
+// order of simultaneous elements — may differ between the lanes.
+//
+// The driver emits sources one at a time (source 0's segment, then source
+// 1's, ...) and drains every hand-off buffer to quiescence between
+// segments, so the per-edge delivery sequence at every operator is a pure
+// function of the schedule and identical across lanes; only the frame
+// grouping differs. Punctuation rounds inject a pubsub.Barrier at a
+// randomized per-source element offset — in the batch lane the offset cuts
+// the current frame (the punctuation-cut rule) — and the barrier save
+// hooks capture each stateful operator's gob snapshot for comparison.
+//
+// Limitation: the exact-equality argument requires that every multi-input
+// operator's inputs descend from disjoint sources. A diamond (one source
+// reaching one operator on two inputs) interleaves its edges per element
+// in the scalar lane but per frame in the batch lane; such plans need the
+// snapshot-equivalence oracle (Stress), not this driver.
+package harness
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+
+	"pipes/internal/pubsub"
+	"pipes/internal/sched"
+	"pipes/internal/temporal"
+)
+
+// DiffConfig parameterises one differential execution.
+type DiffConfig struct {
+	// FrameSize is the batch lane's frame size; 1 degenerates to scalar
+	// granularity by construction, <= 0 means "maxed": each source segment
+	// is published as a single frame. Ignored by the scalar lane.
+	FrameSize int
+	// Rounds is the number of punctuation rounds: barriers with IDs 1..Rounds
+	// are injected at randomized per-source offsets.
+	Rounds int
+	// Seed drives the punctuation-offset rng; both lanes derive identical
+	// offsets from it.
+	Seed int64
+}
+
+// LaneResult is everything one lane produced, in comparable form.
+type LaneResult struct {
+	// Output is the exact element sequence received by the sink.
+	Output []temporal.Element
+	// Snapshots[r] maps an operator key (discovery index + name) to the
+	// operator's gob state captured when barrier r+1 aligned. Operators the
+	// barrier never reaches (e.g. behind an ops.Parallel, which does not
+	// forward controls) are absent.
+	Snapshots []map[string][]byte
+	// Cuts[r] is the number of output elements before barrier r+1 reached
+	// the sink, or -1 when it never arrived.
+	Cuts []int
+	// Offsets[i][r] is source i's replay offset for round r+1: the number
+	// of elements it published before injecting the barrier.
+	Offsets [][]int
+}
+
+// ErrDiffUnsupported marks a plan outside the crash-recovery scenario's
+// reach: the barrier did not reach the sink or some stateful operator
+// (plans routing through ops.Parallel, which drops control elements).
+var ErrDiffUnsupported = errors.New("harness: plan does not propagate barriers end-to-end")
+
+// RunScalarLane executes the plan through the per-element transfer path.
+func RunScalarLane(plan Plan, cfg DiffConfig) (LaneResult, error) {
+	return runLane(plan, cfg, false, nil)
+}
+
+// RunBatchLane executes the plan through the frame transfer path.
+func RunBatchLane(plan Plan, cfg DiffConfig) (LaneResult, error) {
+	return runLane(plan, cfg, true, nil)
+}
+
+// DiffLanes compares two lane results for exact agreement and reports the
+// first divergence.
+func DiffLanes(want, got LaneResult) error {
+	if len(want.Output) != len(got.Output) {
+		return fmt.Errorf("output length: want %d, got %d", len(want.Output), len(got.Output))
+	}
+	for i := range want.Output {
+		if !sameElement(want.Output[i], got.Output[i]) {
+			return fmt.Errorf("output[%d]: want %v, got %v", i, want.Output[i], got.Output[i])
+		}
+	}
+	if len(want.Cuts) != len(got.Cuts) {
+		return fmt.Errorf("rounds: want %d cuts, got %d", len(want.Cuts), len(got.Cuts))
+	}
+	for r := range want.Cuts {
+		if want.Cuts[r] != got.Cuts[r] {
+			return fmt.Errorf("round %d: sink cut want %d, got %d", r+1, want.Cuts[r], got.Cuts[r])
+		}
+	}
+	for r := range want.Snapshots {
+		w, g := want.Snapshots[r], got.Snapshots[r]
+		for key := range g {
+			if _, ok := w[key]; !ok {
+				return fmt.Errorf("round %d: unexpected snapshot of %s", r+1, key)
+			}
+		}
+		for key, wb := range w {
+			gb, ok := g[key]
+			if !ok {
+				return fmt.Errorf("round %d: missing snapshot of %s", r+1, key)
+			}
+			if !bytes.Equal(wb, gb) {
+				return fmt.Errorf("round %d: snapshot of %s differs (%d vs %d bytes)", r+1, key, len(wb), len(gb))
+			}
+		}
+	}
+	return nil
+}
+
+// sameElement compares logical element content; the telemetry trace slot
+// is transport metadata and takes no part in lane equality.
+func sameElement(a, b temporal.Element) bool {
+	return a.Interval == b.Interval && reflect.DeepEqual(a.Value, b.Value)
+}
+
+// RunCrashRecovery runs the full crash-mid-batch scenario on the batch
+// lane: an uninterrupted run for reference, a run abandoned mid-frame a
+// few elements after round crashRound completed, then a recovery run —
+// fresh graph, operator state loaded from the round's snapshots, sources
+// replayed from the recorded offsets. The pre-crash output truncated at
+// the round's sink cut, concatenated with the recovered output, must be
+// snapshot-equivalent to the uninterrupted run. Returns ErrDiffUnsupported
+// when the plan cannot align barriers end-to-end.
+func RunCrashRecovery(plan Plan, cfg DiffConfig, crashRound int) error {
+	if crashRound < 1 || crashRound > cfg.Rounds {
+		return fmt.Errorf("harness: crash round %d outside 1..%d", crashRound, cfg.Rounds)
+	}
+	full, err := runLane(plan, cfg, true, nil)
+	if err != nil {
+		return fmt.Errorf("uninterrupted run: %w", err)
+	}
+	cut := full.Cuts[crashRound-1]
+	if cut < 0 {
+		return ErrDiffUnsupported
+	}
+
+	// Crash a prime-ish number of elements past the round so the stop point
+	// lands mid-frame whenever the frame size exceeds one.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995))
+	frame := cfg.FrameSize
+	if frame < 2 {
+		frame = 2
+	}
+	extra := make([]int, len(plan.Inputs))
+	for i := range extra {
+		extra[i] = 1 + rng.Intn(2*frame-1)
+	}
+	crashed, err := runLane(plan, cfg, true, &crashSpec{round: crashRound, extra: extra})
+	if err != nil {
+		return fmt.Errorf("crashed run: %w", err)
+	}
+	snaps := crashed.Snapshots[crashRound-1]
+
+	// Recovery: rebuild, load state, replay each source from its offset.
+	replay := make([][]temporal.Element, len(plan.Inputs))
+	for i, in := range plan.Inputs {
+		replay[i] = in[crashed.Offsets[i][crashRound-1]:]
+	}
+	recovered, err := recoverLane(plan, cfg, replay, snaps)
+	if err != nil {
+		return err
+	}
+
+	assembled := append(append([]temporal.Element(nil), crashed.Output[:cut]...), recovered...)
+	if err := Equivalent(full.Output, assembled); err != nil {
+		return fmt.Errorf("recovered output diverges: %w", err)
+	}
+	return nil
+}
+
+// crashSpec stops a run mid-frame: after round `round` completes, each
+// source emits extra[i] more elements (cut into partial frames) and the
+// graph is abandoned without end-of-stream.
+type crashSpec struct {
+	round int
+	extra []int
+}
+
+// diffSink is the driver's terminal sink: it records the exact output
+// sequence and, per barrier, the cut index. The driver is single-threaded,
+// so no locking is needed.
+type diffSink struct {
+	elems []temporal.Element
+	cuts  map[uint64]int
+}
+
+func (s *diffSink) Name() string                      { return "diff-sink" }
+func (s *diffSink) Process(e temporal.Element, _ int) { s.elems = append(s.elems, e) }
+func (s *diffSink) Done(_ int)                        {}
+func (s *diffSink) HandleControl(c pubsub.Control, _ int) {
+	if b, ok := c.(pubsub.Barrier); ok {
+		if _, dup := s.cuts[b.ID]; !dup {
+			s.cuts[b.ID] = len(s.elems)
+		}
+	}
+}
+
+// barrierHooked and stateSaver are the structural capability pair a
+// snapshot-capturable operator exposes (pubsub.PipeBase + ops state
+// contract); stateLoader is the recovery half.
+type barrierHooked interface {
+	SetBarrierHooks(save, ack func(pubsub.Barrier))
+}
+
+type stateSaver interface {
+	SaveState(enc *gob.Encoder) error
+}
+
+type stateLoader interface {
+	LoadState(dec *gob.Decoder) error
+}
+
+// saverRef is one snapshot-capturable operator found by graph discovery.
+type saverRef struct {
+	key    string
+	hooked barrierHooked
+	saver  stateSaver
+}
+
+// discoverSavers walks the graph breadth-first from the sources (through
+// Subscriptions, descending into ops.Parallel hand-off buffers) and
+// returns every operator that both aligns barriers and saves state, in
+// deterministic discovery order. The order is a pure function of the
+// Build wiring, so a rebuilt graph yields the same keys.
+func discoverSavers(roots []pubsub.Source) []saverRef {
+	var refs []saverRef
+	queue := make([]any, 0, len(roots))
+	for _, s := range roots {
+		queue = append(queue, s)
+	}
+	seen := map[any]bool{}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if hooked, ok := n.(barrierHooked); ok {
+			if sv, ok := n.(stateSaver); ok {
+				name := "?"
+				if node, ok := n.(interface{ Name() string }); ok {
+					name = node.Name()
+				}
+				refs = append(refs, saverRef{
+					key:    fmt.Sprintf("%03d:%s", len(refs), name),
+					hooked: hooked,
+					saver:  sv,
+				})
+			}
+		}
+		if p, ok := n.(interface{ Buffers() []*pubsub.Buffer }); ok {
+			for _, b := range p.Buffers() {
+				queue = append(queue, b)
+			}
+		}
+		if src, ok := n.(pubsub.Source); ok {
+			for _, sub := range src.Subscriptions() {
+				queue = append(queue, sub.Sink)
+			}
+		}
+	}
+	return refs
+}
+
+// punctOffsets derives the per-source punctuation offsets from the seed:
+// Rounds draws in [0, len(input)], sorted so successive rounds cut at
+// non-decreasing stream positions. Both lanes call this with the same
+// config and therefore agree on every cut.
+func punctOffsets(plan Plan, cfg DiffConfig) [][]int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	offs := make([][]int, len(plan.Inputs))
+	for i, in := range plan.Inputs {
+		offs[i] = make([]int, cfg.Rounds)
+		for r := range offs[i] {
+			offs[i][r] = rng.Intn(len(in) + 1)
+		}
+		sort.Ints(offs[i])
+	}
+	return offs
+}
+
+const drainMax = 1 << 20
+
+// drainAll pumps every hand-off task until a full pass makes no progress.
+func drainAll(tasks []sched.Task) {
+	for {
+		progress := false
+		for _, t := range tasks {
+			if n, _ := t.RunBatch(drainMax); n > 0 {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// laneDriver drives one lane's sources deterministically.
+type laneDriver struct {
+	srcs  []*pubsub.SliceSource
+	pos   []int
+	tasks []sched.Task
+	batch bool
+	frame int // <= 0: maxed
+}
+
+// emitTo advances source i to absolute offset target, in frames of at
+// most the configured size (scalar lane: one element at a time), draining
+// the graph to quiescence after every publication.
+func (d *laneDriver) emitTo(i, target int) {
+	for d.pos[i] < target {
+		if d.batch {
+			n := target - d.pos[i]
+			if d.frame > 0 && n > d.frame {
+				n = d.frame
+			}
+			k, _ := d.srcs[i].EmitBatch(n)
+			d.pos[i] += k
+		} else {
+			d.srcs[i].EmitNext()
+			d.pos[i]++
+		}
+		drainAll(d.tasks)
+	}
+}
+
+// finish exhausts every source, signals end-of-stream and drains until
+// every task completes.
+func (d *laneDriver) finish(inputs [][]temporal.Element) error {
+	for i := range d.srcs {
+		d.emitTo(i, len(inputs[i]))
+		// One more emit observes exhaustion and signals done.
+		if d.batch {
+			d.srcs[i].EmitBatch(d.frame)
+		} else {
+			d.srcs[i].EmitNext()
+		}
+		drainAll(d.tasks)
+	}
+	// Done propagation may need extra passes (a buffer forwards done only
+	// once its own upstream finished); a pass flipping nothing means wedged.
+	for {
+		allDone, progress := true, false
+		for _, t := range d.tasks {
+			n, done := t.RunBatch(drainMax)
+			if n > 0 {
+				progress = true
+			}
+			if !done {
+				allDone = false
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if !progress {
+			return fmt.Errorf("harness: differential driver wedged: tasks never finished")
+		}
+	}
+}
+
+// runLane executes one lane of the differential pair.
+func runLane(plan Plan, cfg DiffConfig, batch bool, crash *crashSpec) (LaneResult, error) {
+	if plan.Build == nil {
+		return LaneResult{}, fmt.Errorf("harness: plan %q has no Build", plan.Name)
+	}
+	srcs := make([]*pubsub.SliceSource, len(plan.Inputs))
+	sources := make([]pubsub.Source, len(plan.Inputs))
+	for i, in := range plan.Inputs {
+		srcs[i] = pubsub.NewSliceSource(fmt.Sprintf("in%d", i), in)
+		sources[i] = srcs[i]
+	}
+	out, extra, err := plan.Build(sources)
+	if err != nil {
+		return LaneResult{}, fmt.Errorf("harness: plan %q: %w", plan.Name, err)
+	}
+	sink := &diffSink{cuts: map[uint64]int{}}
+	if err := out.Subscribe(sink, 0); err != nil {
+		return LaneResult{}, fmt.Errorf("harness: plan %q: %w", plan.Name, err)
+	}
+
+	res := LaneResult{
+		Snapshots: make([]map[string][]byte, cfg.Rounds),
+		Cuts:      make([]int, cfg.Rounds),
+		Offsets:   punctOffsets(plan, cfg),
+	}
+	for r := range res.Snapshots {
+		res.Snapshots[r] = map[string][]byte{}
+	}
+	for _, ref := range discoverSavers(sources) {
+		ref := ref
+		ref.hooked.SetBarrierHooks(func(b pubsub.Barrier) {
+			var buf bytes.Buffer
+			if err := ref.saver.SaveState(gob.NewEncoder(&buf)); err != nil {
+				panic(fmt.Sprintf("harness: snapshot of %s: %v", ref.key, err))
+			}
+			res.Snapshots[b.ID-1][ref.key] = buf.Bytes()
+		}, nil)
+	}
+
+	d := &laneDriver{srcs: srcs, pos: make([]int, len(srcs)), tasks: extra, batch: batch, frame: cfg.FrameSize}
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := range srcs {
+			d.emitTo(i, res.Offsets[i][r])
+			srcs[i].TransferControl(pubsub.Barrier{ID: uint64(r + 1)})
+			drainAll(d.tasks)
+		}
+		if crash != nil && crash.round == r+1 {
+			// Keep running a few elements past the checkpoint, stopping
+			// mid-frame, then abandon the graph — the volatile state
+			// (operator contents, partially consumed frames) is lost.
+			for i := range srcs {
+				stop := res.Offsets[i][r] + crash.extra[i]
+				if max := len(plan.Inputs[i]); stop > max {
+					stop = max
+				}
+				d.emitTo(i, stop)
+			}
+			return finishResult(res, sink), nil
+		}
+	}
+	for i := range srcs {
+		d.emitTo(i, len(plan.Inputs[i]))
+	}
+	if err := d.finish(plan.Inputs); err != nil {
+		return LaneResult{}, err
+	}
+	return finishResult(res, sink), nil
+}
+
+func finishResult(res LaneResult, sink *diffSink) LaneResult {
+	res.Output = sink.elems
+	for r := range res.Cuts {
+		if cut, ok := sink.cuts[uint64(r+1)]; ok {
+			res.Cuts[r] = cut
+		} else {
+			res.Cuts[r] = -1
+		}
+	}
+	return res
+}
+
+// recoverLane rebuilds the plan on replay inputs, loads the snapshot into
+// every discovered operator and drives the batch lane to completion.
+func recoverLane(plan Plan, cfg DiffConfig, replay [][]temporal.Element, snaps map[string][]byte) ([]temporal.Element, error) {
+	srcs := make([]*pubsub.SliceSource, len(replay))
+	sources := make([]pubsub.Source, len(replay))
+	for i, in := range replay {
+		srcs[i] = pubsub.NewSliceSource(fmt.Sprintf("in%d", i), in)
+		sources[i] = srcs[i]
+	}
+	out, extra, err := plan.Build(sources)
+	if err != nil {
+		return nil, fmt.Errorf("harness: plan %q rebuild: %w", plan.Name, err)
+	}
+	sink := &diffSink{cuts: map[uint64]int{}}
+	if err := out.Subscribe(sink, 0); err != nil {
+		return nil, fmt.Errorf("harness: plan %q rebuild: %w", plan.Name, err)
+	}
+	for _, ref := range discoverSavers(sources) {
+		state, ok := snaps[ref.key]
+		if !ok {
+			// The barrier never reached this operator pre-crash; its round-R
+			// state is unknown and recovery cannot be exact.
+			return nil, ErrDiffUnsupported
+		}
+		loader, ok := ref.saver.(stateLoader)
+		if !ok {
+			return nil, fmt.Errorf("harness: %s saves state but cannot load it", ref.key)
+		}
+		if err := loader.LoadState(gob.NewDecoder(bytes.NewReader(state))); err != nil {
+			return nil, fmt.Errorf("harness: restoring %s: %w", ref.key, err)
+		}
+	}
+	d := &laneDriver{srcs: srcs, pos: make([]int, len(srcs)), tasks: extra, batch: true, frame: cfg.FrameSize}
+	for i := range srcs {
+		d.emitTo(i, len(replay[i]))
+	}
+	if err := d.finish(replay); err != nil {
+		return nil, err
+	}
+	return sink.elems, nil
+}

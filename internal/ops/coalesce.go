@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"sort"
+
 	"pipes/internal/pubsub"
 	"pipes/internal/temporal"
 	"pipes/internal/xds"
@@ -119,8 +121,15 @@ func (c *Coalesce) bound() temporal.Time {
 }
 
 func (c *Coalesce) finish() {
-	for k, p := range c.pending {
-		c.out.add(p.value)
+	// Canonical key order: equal-Start spans tie in the order buffer by
+	// insertion sequence, so flushing in map order would be nondeterministic.
+	keys := make([]any, 0, len(c.pending))
+	for k := range c.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return canonKey(keys[i]) < canonKey(keys[j]) })
+	for _, k := range keys {
+		c.out.add(c.pending[k].value)
 		delete(c.pending, k)
 	}
 	c.out.flush(c.Transfer)

@@ -7,10 +7,15 @@ package ops
 // claims for its temporal algebra.
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"pipes/internal/aggregate"
+	"pipes/internal/pubsub"
 	"pipes/internal/snapshot"
 	"pipes/internal/temporal"
 )
@@ -345,5 +350,199 @@ func TestSnapshotEquivalenceIntersect(t *testing.T) {
 				return snapshot.Intersect(snapshot.At(a, p), snapshot.At(b, p), nil)
 			}, a, b)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-batch differential suite: every stateful operator is driven
+// twice over the same deterministic merged schedule — once per-element
+// through Process, once in frames through the batch lane (ProcessBatch
+// where implemented, the per-element fallback otherwise) with checkpoint
+// barriers injected at random schedule positions cutting the frames — and
+// the two executions must agree exactly: identical output sequences and
+// byte-identical StateSaver snapshots at every barrier.
+
+// feedItem is one step of a deterministic multi-input schedule.
+type feedItem struct {
+	e     temporal.Element
+	input int
+}
+
+// mergedFeed interleaves per-input-ordered streams in global Start order
+// (ties: lower input first) — the same order runMerged uses.
+func mergedFeed(inputs [][]temporal.Element) []feedItem {
+	idx := make([]int, len(inputs))
+	var out []feedItem
+	for {
+		best := -1
+		for i, in := range inputs {
+			if idx[i] >= len(in) {
+				continue
+			}
+			if best < 0 || in[idx[i]].Start < inputs[best][idx[best]].Start {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, feedItem{e: inputs[best][idx[best]], input: best})
+		idx[best]++
+	}
+}
+
+// runOpLane drives one freshly built operator over the schedule. frame 0
+// selects the scalar lane (Process per element); frame > 0 accumulates
+// consecutive same-input items into frames of at most that size, cut at
+// every barrier position, delivered through the batch lane. barriers are
+// sorted schedule positions; barrier k+1 is injected on every input when
+// position barriers[k] is reached. Returns the exact output sequence and
+// the per-barrier gob snapshot (nil entries when the operator saves no
+// state).
+func runOpLane(op pubsub.Pipe, arity int, schedule []feedItem, barriers []int, frame int) ([]temporal.Element, [][]byte) {
+	var out []temporal.Element
+	op.Subscribe(newCollectSink(&out), 0)
+
+	snaps := make([][]byte, len(barriers))
+	type hooked interface {
+		SetBarrierHooks(save, ack func(pubsub.Barrier))
+	}
+	type saver interface {
+		SaveState(enc *gob.Encoder) error
+	}
+	if h, ok := op.(hooked); ok {
+		if sv, ok := op.(saver); ok {
+			h.SetBarrierHooks(func(b pubsub.Barrier) {
+				var buf bytes.Buffer
+				if err := sv.SaveState(gob.NewEncoder(&buf)); err != nil {
+					panic("differential snapshot: " + err.Error())
+				}
+				snaps[b.ID-1] = buf.Bytes()
+			}, nil)
+		}
+	}
+
+	bs, _ := op.(pubsub.BatchSink)
+	var pending temporal.Batch
+	pendingInput := -1
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if bs != nil {
+			bs.ProcessBatch(pending, pendingInput)
+		} else {
+			for _, e := range pending {
+				op.Process(e, pendingInput)
+			}
+		}
+		pending = nil
+	}
+	inject := func(id uint64) {
+		flush()
+		cs, ok := op.(pubsub.ControlSink)
+		if !ok {
+			return
+		}
+		for i := 0; i < arity; i++ {
+			cs.HandleControl(pubsub.Barrier{ID: id}, i)
+		}
+	}
+
+	next := 0 // next barrier index
+	for pos, item := range schedule {
+		for next < len(barriers) && barriers[next] == pos {
+			inject(uint64(next + 1))
+			next++
+		}
+		if frame <= 0 {
+			op.Process(item.e, item.input)
+			continue
+		}
+		if item.input != pendingInput || len(pending) >= frame {
+			flush()
+			pendingInput = item.input
+		}
+		pending = append(pending, item.e)
+	}
+	for next < len(barriers) {
+		inject(uint64(next + 1))
+		next++
+	}
+	flush()
+	for i := 0; i < arity; i++ {
+		op.Done(i)
+	}
+	return out, snaps
+}
+
+// TestScalarBatchDifferential is the operator-level differential table:
+// for every stateful operator, random inputs, random barrier placement
+// and every frame size, the batch lane must replicate the scalar lane
+// exactly — outputs and snapshot bytes.
+func TestScalarBatchDifferential(t *testing.T) {
+	key3 := func(v any) any { return v.(int) % 3 }
+	combine := func(l, r any) any { return Pair{Left: l, Right: r} }
+	pred := func(l, r any) bool { return l.(int)%4 == r.(int)%4 }
+
+	cases := []struct {
+		name  string
+		arity int
+		mk    func() pubsub.Pipe
+	}{
+		{"groupby-count", 1, func() pubsub.Pipe { return NewGroupBy("g", key3, aggregate.NewCount, nil) }},
+		{"groupby-sum", 1, func() pubsub.Pipe { return NewGroupBy("g", key3, aggregate.NewSum, nil) }},
+		{"equi-join", 2, func() pubsub.Pipe { return NewEquiJoin("j", key3, key3, combine) }},
+		{"theta-join", 2, func() pubsub.Pipe { return NewThetaJoin("j", pred, combine) }},
+		{"mjoin", 3, func() pubsub.Pipe { return NewMJoin("m", 3, key3) }},
+		{"difference", 2, func() pubsub.Pipe { return NewDifference("d", nil) }},
+		{"intersect", 2, func() pubsub.Pipe { return NewIntersect("i", nil) }},
+		{"union", 3, func() pubsub.Pipe { return NewUnion("u", 3) }},
+		{"time-window", 1, func() pubsub.Pipe { return NewTimeWindow("w", 9) }},
+		{"tumbling-window", 1, func() pubsub.Pipe { return NewTumblingWindow("w", 10) }},
+		{"count-window", 1, func() pubsub.Pipe { return NewCountWindow("w", 5) }},
+		{"partitioned-window", 1, func() pubsub.Pipe { return NewPartitionedWindow("w", key3, 4) }},
+	}
+
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(6600 + ci)))
+			for trial := 0; trial < 6; trial++ {
+				inputs := make([][]temporal.Element, tc.arity)
+				for i := range inputs {
+					inputs[i] = randStream(rng, 30, 9, 12)
+				}
+				schedule := mergedFeed(inputs)
+				nb := 1 + rng.Intn(3)
+				barriers := make([]int, nb)
+				for i := range barriers {
+					barriers[i] = rng.Intn(len(schedule) + 1)
+				}
+				sort.Ints(barriers)
+
+				scalarOut, scalarSnaps := runOpLane(tc.mk(), tc.arity, schedule, barriers, 0)
+				for _, frame := range []int{1, 7, 64} {
+					batchOut, batchSnaps := runOpLane(tc.mk(), tc.arity, schedule, barriers, frame)
+					if len(batchOut) != len(scalarOut) {
+						t.Fatalf("trial %d frame %d: output length %d, scalar %d",
+							trial, frame, len(batchOut), len(scalarOut))
+					}
+					for i := range scalarOut {
+						if scalarOut[i].Interval != batchOut[i].Interval ||
+							!reflect.DeepEqual(scalarOut[i].Value, batchOut[i].Value) {
+							t.Fatalf("trial %d frame %d: output[%d] = %v, scalar %v",
+								trial, frame, i, batchOut[i], scalarOut[i])
+						}
+					}
+					for r := range scalarSnaps {
+						if !bytes.Equal(scalarSnaps[r], batchSnaps[r]) {
+							t.Fatalf("trial %d frame %d: snapshot %d differs (%d vs %d bytes)",
+								trial, frame, r+1, len(batchSnaps[r]), len(scalarSnaps[r]))
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -36,6 +36,7 @@ type GroupBy struct {
 	expiry  *xds.Heap[expiryEvent]
 	lows    *xds.Heap[lowEntry]
 	out     *orderBuffer
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 type group struct {
@@ -96,6 +97,12 @@ func NewAggregate(name string, factory aggregate.Factory) *GroupBy {
 func (g *GroupBy) Process(e temporal.Element, _ int) {
 	g.ProcMu.Lock()
 	defer g.ProcMu.Unlock()
+	g.processOne(e, g.Transfer)
+}
+
+// processOne is the Process body under ProcMu; releases go through emit so
+// the batch lane can collect them into one downstream frame.
+func (g *GroupBy) processOne(e temporal.Element, emit func(temporal.Element)) {
 	g.advance(e.Start)
 
 	k := g.key(e.Value)
@@ -123,7 +130,7 @@ func (g *GroupBy) Process(e temporal.Element, _ int) {
 	g.lows.Push(lowEntry{lb: grp.lb, key: k})
 
 	g.out.observe(0, e.Start)
-	g.out.release(g.bound(), g.Transfer)
+	g.out.release(g.bound(), emit)
 }
 
 // advance processes every interval end up to and including t, emitting the

@@ -37,7 +37,8 @@ type KeyFunc func(v any) any
 // predicate, leaving validity intervals untouched (temporal selection σ).
 type Filter struct {
 	pubsub.PipeBase
-	pred Predicate
+	pred    Predicate
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewFilter returns a selection operator.
@@ -61,7 +62,8 @@ func (f *Filter) Process(e temporal.Element, _ int) {
 // (temporal projection/function application π).
 type Map struct {
 	pubsub.PipeBase
-	fn Mapper
+	fn      Mapper
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewMap returns a mapping operator.

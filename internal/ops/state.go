@@ -24,8 +24,11 @@ package ops
 
 import (
 	"encoding/gob"
+	"fmt"
+	"sort"
 
 	"pipes/internal/aggregate"
+	"pipes/internal/sweeparea"
 	"pipes/internal/temporal"
 	"pipes/internal/xds"
 )
@@ -65,6 +68,37 @@ func init() {
 	gob.Register(Pair{})
 	gob.Register(GroupResult{})
 	gob.Register(globalGroup{})
+	gob.Register([]any{}) // MJoin result tuples
+}
+
+// canonKey renders a map key for canonical checkpoint ordering. Checkpoint
+// bytes must be a pure function of the operator's logical state — the
+// byte-identical-snapshot guarantee the batch/scalar differential harness
+// asserts — so every map-derived collection is sorted by this rendering
+// before encoding instead of leaking Go's randomised map iteration order.
+// Rendering cost is paid only at checkpoint time, never on the hot path.
+func canonKey(k any) string { return fmt.Sprintf("%T|%v", k, k) }
+
+// sortWire canonically orders a multiset of wire elements whose source
+// order is not semantically meaningful (sweep-area contents).
+func sortWire(ws []wireElem) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Start != ws[j].Start {
+			return ws[i].Start < ws[j].Start
+		}
+		if ws[i].End != ws[j].End {
+			return ws[i].End < ws[j].End
+		}
+		return canonKey(ws[i].Value) < canonKey(ws[j].Value)
+	})
+}
+
+// areaWire serialises a sweep area's contents in canonical order. Area
+// semantics are insertion-order independent, so reload order is free.
+func areaWire(a sweeparea.SweepArea) []wireElem {
+	ws := toWire(a.Items())
+	sortWire(ws)
+	return ws
 }
 
 // orderBufferState is the serialised form of an orderBuffer: the pending
@@ -97,7 +131,7 @@ type joinState struct {
 // SaveState implements the ft.StateSaver contract.
 func (j *Join) SaveState(enc *gob.Encoder) error {
 	return enc.Encode(joinState{
-		Areas: [2][]wireElem{toWire(j.areas[0].Items()), toWire(j.areas[1].Items())},
+		Areas: [2][]wireElem{areaWire(j.areas[0]), areaWire(j.areas[1])},
 		Out:   j.out.saveState(),
 	})
 }
@@ -138,6 +172,7 @@ func (g *GroupBy) SaveState(enc *gob.Encoder) error {
 	for k, grp := range g.groups {
 		st.Groups = append(st.Groups, groupState{Key: k, LB: grp.lb, Active: toWire(grp.active.Items())})
 	}
+	sort.Slice(st.Groups, func(i, j int) bool { return canonKey(st.Groups[i].Key) < canonKey(st.Groups[j].Key) })
 	return enc.Encode(st)
 }
 
@@ -202,6 +237,7 @@ func saveDiffLike(state map[any]*diffState, expiry *xds.Heap[diffExpiry], inQ [2
 	for k, ds := range state {
 		st.Keys = append(st.Keys, diffKeyState{Key: k, Value: ds.value, Counts: ds.counts, LB: ds.lb})
 	}
+	sort.Slice(st.Keys, func(i, j int) bool { return canonKey(st.Keys[i].Key) < canonKey(st.Keys[j].Key) })
 	for _, ev := range expiry.Items() {
 		st.Expiry = append(st.Expiry, wireDiffExpiry{End: ev.end, Key: ev.key, Input: ev.input})
 	}
@@ -297,6 +333,40 @@ func (w *CountWindow) LoadState(dec *gob.Decoder) error {
 	return nil
 }
 
+// mjoinState is the serialised form of an MJoin: one area per input plus
+// the pending output, areas in canonical order like joinState.
+type mjoinState struct {
+	Areas [][]wireElem
+	Out   orderBufferState
+}
+
+// SaveState implements the ft.StateSaver contract.
+func (m *MJoin) SaveState(enc *gob.Encoder) error {
+	st := mjoinState{Areas: make([][]wireElem, len(m.areas)), Out: m.out.saveState()}
+	for i, a := range m.areas {
+		st.Areas[i] = areaWire(a)
+	}
+	return enc.Encode(st)
+}
+
+// LoadState implements the ft.StateLoader contract.
+func (m *MJoin) LoadState(dec *gob.Decoder) error {
+	var st mjoinState
+	if err := dec.Decode(&st); err != nil {
+		return err
+	}
+	for i, ws := range st.Areas {
+		if i >= len(m.areas) {
+			break
+		}
+		for _, e := range fromWire(ws) {
+			m.areas[i].Insert(e)
+		}
+	}
+	m.out.loadState(st.Out)
+	return nil
+}
+
 // partitionState is one partition of a PartitionedWindow, in arrival
 // order; the heads heap is rebuilt from the restored queue heads.
 type partitionState struct {
@@ -315,6 +385,7 @@ func (w *PartitionedWindow) SaveState(enc *gob.Encoder) error {
 	for k, q := range w.part {
 		st.Parts = append(st.Parts, partitionState{Key: k, Elems: toWire(q.Items())})
 	}
+	sort.Slice(st.Parts, func(i, j int) bool { return canonKey(st.Parts[i].Key) < canonKey(st.Parts[j].Key) })
 	return enc.Encode(st)
 }
 

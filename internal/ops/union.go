@@ -11,7 +11,8 @@ import (
 // watermark has passed it.
 type Union struct {
 	pubsub.PipeBase
-	out *orderBuffer
+	out     *orderBuffer
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewUnion returns a union over `inputs` streams (inputs >= 2).
@@ -32,9 +33,15 @@ func NewUnion(name string, inputs int) *Union {
 func (u *Union) Process(e temporal.Element, input int) {
 	u.ProcMu.Lock()
 	defer u.ProcMu.Unlock()
+	u.processOne(e, input, u.Transfer)
+}
+
+// processOne is the Process body under ProcMu; releases go through emit so
+// the batch lane can collect them into one downstream frame.
+func (u *Union) processOne(e temporal.Element, input int, emit func(temporal.Element)) {
 	u.out.add(e)
 	u.out.observe(input, e.Start)
-	u.out.release(u.out.watermark(), u.Transfer)
+	u.out.release(u.out.watermark(), emit)
 }
 
 // Pending returns the number of buffered (not yet releasable) elements —

@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"sort"
 
 	"pipes/internal/pubsub"
 	"pipes/internal/temporal"
@@ -13,7 +14,8 @@ import (
 // t the snapshot contains the values that arrived during (t-size, t].
 type TimeWindow struct {
 	pubsub.PipeBase
-	size temporal.Time
+	size    temporal.Time
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewTimeWindow returns a sliding time window of the given positive size.
@@ -62,6 +64,7 @@ func (w *TimeWindow) Process(e temporal.Element, _ int) {
 // UNBOUNDED) — the stream-to-relation mapping for monotone accumulation.
 type UnboundedWindow struct {
 	pubsub.PipeBase
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewUnboundedWindow returns an unbounded window.
@@ -80,6 +83,7 @@ func (w *UnboundedWindow) Process(e temporal.Element, _ int) {
 // (CQL: NOW).
 type NowWindow struct {
 	pubsub.PipeBase
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewNowWindow returns a NOW window.
@@ -101,7 +105,8 @@ func (w *NowWindow) Process(e temporal.Element, _ int) {
 // last g" query shape.
 type TumblingWindow struct {
 	pubsub.PipeBase
-	size temporal.Time
+	size    temporal.Time
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewTumblingWindow returns a tumbling window of the given positive size.
@@ -134,8 +139,9 @@ func floorDiv(a, b temporal.Time) temporal.Time {
 // forever and are emitted at end-of-stream.
 type CountWindow struct {
 	pubsub.PipeBase
-	n   int
-	buf xds.Queue[temporal.Element]
+	n       int
+	buf     xds.Queue[temporal.Element]
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 // NewCountWindow returns a count window of n rows, n > 0.
@@ -184,8 +190,9 @@ type PartitionedWindow struct {
 	part map[any]xds.Queue[temporal.Element]
 	// heads lazily tracks the start of each partition's oldest element —
 	// the holdback bound for ordered release.
-	heads *xds.Heap[partHead]
-	out   *orderBuffer
+	heads   *xds.Heap[partHead]
+	out     *orderBuffer
+	scratch temporal.Batch // reusable output frame of the batch lane (under ProcMu)
 }
 
 type partHead struct {
@@ -217,6 +224,12 @@ func NewPartitionedWindow(name string, key KeyFunc, n int) *PartitionedWindow {
 func (w *PartitionedWindow) Process(e temporal.Element, _ int) {
 	w.ProcMu.Lock()
 	defer w.ProcMu.Unlock()
+	w.processOne(e, w.Transfer)
+}
+
+// processOne is the Process body under ProcMu; releases go through emit so
+// the batch lane can collect them into one downstream frame.
+func (w *PartitionedWindow) processOne(e temporal.Element, emit func(temporal.Element)) {
 	k := w.key(e.Value)
 	q := w.part[k]
 	if q == nil {
@@ -239,7 +252,7 @@ func (w *PartitionedWindow) Process(e temporal.Element, _ int) {
 	}
 	q.Enqueue(e)
 	w.out.observe(0, e.Start)
-	w.out.release(w.holdback(e.Start), w.Transfer)
+	w.out.release(w.holdback(e.Start), emit)
 }
 
 // holdback returns min(arrival watermark, oldest buffered element start):
@@ -268,7 +281,16 @@ func (w *PartitionedWindow) holdback(wm temporal.Time) temporal.Time {
 }
 
 func (w *PartitionedWindow) fflush() {
-	for _, q := range w.part {
+	// Flush partitions in canonical key order: equal-Start survivors tie in
+	// the order buffer by insertion sequence, so map iteration here would
+	// make the end-of-stream output order vary run-to-run.
+	keys := make([]any, 0, len(w.part))
+	for k := range w.part {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return canonKey(keys[i]) < canonKey(keys[j]) })
+	for _, k := range keys {
+		q := w.part[k]
 		for {
 			old, ok := q.Dequeue()
 			if !ok {

@@ -1,0 +1,101 @@
+package pubsub
+
+import (
+	"testing"
+
+	"pipes/internal/telemetry"
+	"pipes/internal/temporal"
+)
+
+func batchElems(n int) []temporal.Element {
+	out := make([]temporal.Element, n)
+	for i := range out {
+		out[i] = temporal.NewElement(i, temporal.Time(i), temporal.Time(i+1))
+	}
+	return out
+}
+
+// TestTransferBatchSamplesPerElement is the batch/trace interaction
+// regression: 1-in-N span sampling must count ELEMENTS, not frames. A
+// size-64 frame published through a 1-in-4 tracer must start exactly 16
+// traces — the per-element TransferHook loop inside TransferBatch — and
+// every sampled element must leave carrying its trace.
+func TestTransferBatchSamplesPerElement(t *testing.T) {
+	src := NewSliceSource("s", batchElems(64))
+	tracer := telemetry.NewTracer(4, 128)
+	src.SetTransferHook(func(e temporal.Element) temporal.Element {
+		if tr := tracer.MaybeTrace(); tr != nil {
+			tr.Hop("s", "emit", e.Start)
+			e = telemetry.Attach(e, tr)
+		}
+		return e
+	})
+	col := NewCollector("col", 1)
+	if err := src.Subscribe(col, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := src.EmitBatch(64); n != 64 {
+		t.Fatalf("EmitBatch published %d elements, want 64", n)
+	}
+
+	if got := tracer.Sampled(); got != 16 {
+		t.Fatalf("tracer started %d traces through a size-64 frame, want 16 (frame-counted sampling?)", got)
+	}
+	traced := 0
+	for _, e := range col.Elements() {
+		if tr := telemetry.FromElement(e); tr != nil {
+			traced++
+			if spans := tr.Spans(); len(spans) != 1 || spans[0].Event != "emit" {
+				t.Fatalf("sampled element carries spans %v, want one emit hop", spans)
+			}
+		}
+	}
+	if traced != 16 {
+		t.Fatalf("%d of 64 delivered elements carry traces, want 16", traced)
+	}
+}
+
+// TestBufferFrameRecordsQueueHopPerElement extends the regression across
+// a scheduler boundary: a frame drained out of a Buffer must add one
+// "queue" span per traced element, exactly as the scalar path does.
+func TestBufferFrameRecordsQueueHopPerElement(t *testing.T) {
+	src := NewSliceSource("s", batchElems(64))
+	tracer := telemetry.NewTracer(4, 128)
+	src.SetTransferHook(func(e temporal.Element) temporal.Element {
+		if tr := tracer.MaybeTrace(); tr != nil {
+			tr.Hop("s", "emit", e.Start)
+			e = telemetry.Attach(e, tr)
+		}
+		return e
+	})
+	buf := NewBuffer("q")
+	if err := src.Subscribe(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector("col", 1)
+	if err := buf.Subscribe(col, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := src.EmitBatch(64); n != 64 {
+		t.Fatalf("EmitBatch published %d elements, want 64", n)
+	}
+	if n := buf.Drain(1 << 20); n != 64 {
+		t.Fatalf("Drain forwarded %d elements, want 64", n)
+	}
+
+	queued := 0
+	for _, e := range col.Elements() {
+		tr := telemetry.FromElement(e)
+		if tr == nil {
+			continue
+		}
+		spans := tr.Spans()
+		if len(spans) != 2 || spans[1].Op != "q" || spans[1].Event != "queue" {
+			t.Fatalf("traced element has spans %v, want emit then queue", spans)
+		}
+		queued++
+	}
+	if queued != 16 {
+		t.Fatalf("%d traced elements crossed the buffer, want 16", queued)
+	}
+}

@@ -14,11 +14,27 @@ import (
 // queued is one buffered element plus its enqueue wall-stamp (0 when
 // queue-time telemetry is off, so the hot path pays no clock read).
 // When ctl is non-nil the entry is an in-band control element occupying
-// its stream position in the queue, and e is zero.
+// its stream position in the queue, and e is zero. When b is non-nil the
+// entry is a whole frame (batch lane): the buffer owns a copy of the
+// published frame — the buffer is the one asynchronous consumer, so it
+// cannot borrow (temporal.Batch) — and re-publishes it as one unit on
+// drain, recycling the backing array through a free list afterwards.
+// Controls always occupy their own entry, so a punctuation still cuts
+// cleanly between frames.
 type queued struct {
 	e   temporal.Element
+	b   temporal.Batch
 	at  int64
 	ctl Control
+}
+
+// size returns how many work units (elements or controls) the entry
+// represents.
+func (q queued) size() int {
+	if q.b != nil {
+		return len(q.b)
+	}
+	return 1
 }
 
 // Clock is the injectable time source for queue-time telemetry. It is
@@ -61,6 +77,8 @@ type Buffer struct {
 
 	mu           sync.Mutex
 	q            xds.Queue[queued]
+	count        int              // buffered work units: elements (frames count len) + controls
+	free         []temporal.Batch // recycled frame storage for ProcessBatch copies
 	upstreamDone bool
 	// draining marks an in-progress Drain: a dequeued element may still be
 	// in flight downstream even though the queue reads empty, so Done must
@@ -108,6 +126,31 @@ func (b *Buffer) Process(e temporal.Element, _ int) {
 	}
 	b.mu.Lock()
 	b.q.Enqueue(queued{e: e, at: at}) // unbounded queue: cannot fail
+	b.count++
+	b.mu.Unlock()
+}
+
+// ProcessBatch implements BatchSink by enqueueing the whole frame as one
+// entry. The published frame is only borrowed for this call, so the
+// buffer copies it into buffer-owned storage (recycled from the free
+// list Drain refills) and re-publishes the copy as one unit by Drain.
+func (b *Buffer) ProcessBatch(batch temporal.Batch, _ int) {
+	if len(batch) == 0 {
+		return
+	}
+	var at int64
+	if b.queueHist.Load() != nil {
+		at = b.now()
+	}
+	b.mu.Lock()
+	var own temporal.Batch
+	if n := len(b.free); n > 0 {
+		own = b.free[n-1][:0]
+		b.free = b.free[:n-1]
+	}
+	own = append(own, batch...)
+	b.q.Enqueue(queued{b: own, at: at})
+	b.count += len(own)
 	b.mu.Unlock()
 }
 
@@ -119,6 +162,7 @@ func (b *Buffer) Process(e temporal.Element, _ int) {
 func (b *Buffer) HandleControl(c Control, _ int) {
 	b.mu.Lock()
 	b.q.Enqueue(queued{ctl: c})
+	b.count++
 	b.mu.Unlock()
 }
 
@@ -136,10 +180,12 @@ func (b *Buffer) Done(_ int) {
 }
 
 // Drain dequeues and publishes up to max elements (all buffered elements
-// if max <= 0) and returns how many were transferred. If the upstream has
-// signalled done and the buffer empties, done is propagated downstream.
-// At most one goroutine may drain at a time (the scheduler guarantees this
-// via single-owner task activation); Process and Done may be called
+// if max <= 0) and returns how many were transferred. A frame entry is
+// always re-published whole — a drain never splits a frame, so the count
+// may overshoot max by at most one frame. If the upstream has signalled
+// done and the buffer empties, done is propagated downstream. At most one
+// goroutine may drain at a time (the scheduler guarantees this via
+// single-owner task activation); Process and Done may be called
 // concurrently with Drain.
 func (b *Buffer) Drain(max int) int {
 	n := 0
@@ -150,24 +196,36 @@ func (b *Buffer) Drain(max int) int {
 		if !ok {
 			break
 		}
+		b.count -= qe.size()
 		b.mu.Unlock()
-		if qe.ctl != nil {
+		switch {
+		case qe.ctl != nil:
 			b.TransferControl(qe.ctl)
 			n++
+		case qe.b != nil:
+			b.observeFrame(qe)
+			b.TransferBatch(qe.b)
+			n += len(qe.b)
+			// The downstream borrow ended with TransferBatch's return:
+			// recycle the buffer-owned frame for future enqueue copies.
 			b.mu.Lock()
-			continue
-		}
-		if qe.at != 0 {
-			wait := b.now() - qe.at
-			if h := b.queueHist.Load(); h != nil {
-				h.Observe(wait)
+			if len(b.free) < 16 {
+				b.free = append(b.free, qe.b)
+			}
+			b.mu.Unlock()
+		default:
+			if qe.at != 0 {
+				wait := b.now() - qe.at
+				if h := b.queueHist.Load(); h != nil {
+					h.Observe(wait)
+				}
 			}
 			if tr := telemetry.FromElement(qe.e); tr != nil {
 				tr.Hop(b.Name(), "queue", qe.e.Start)
 			}
+			b.Transfer(qe.e)
+			n++
 		}
-		b.Transfer(qe.e)
-		n++
 		b.mu.Lock()
 	}
 	b.draining = false
@@ -177,6 +235,26 @@ func (b *Buffer) Drain(max int) int {
 		b.SignalDone()
 	}
 	return n
+}
+
+// observeFrame records queue-time telemetry for a dequeued frame: one
+// residence-time observation per element (keeping histogram counts
+// element-denominated, like the scalar lane) and one "queue" hop per
+// traced element.
+func (b *Buffer) observeFrame(qe queued) {
+	if qe.at != 0 {
+		if h := b.queueHist.Load(); h != nil {
+			wait := b.now() - qe.at
+			for range qe.b {
+				h.Observe(wait)
+			}
+		}
+	}
+	for _, e := range qe.b {
+		if tr := telemetry.FromElement(e); tr != nil {
+			tr.Hop(b.Name(), "queue", e.Start)
+		}
+	}
 }
 
 // bufferState is the serialised checkpoint form of a Buffer: the queued
@@ -204,15 +282,23 @@ type bufferState struct {
 func (b *Buffer) SaveState(enc *gob.Encoder) error {
 	b.mu.Lock()
 	var st bufferState
-	for _, qe := range b.q.Items() {
-		if qe.ctl != nil {
-			continue
-		}
+	add := func(e temporal.Element) {
 		st.Elems = append(st.Elems, struct {
 			Value any
 			Start temporal.Time
 			End   temporal.Time
-		}{qe.e.Value, qe.e.Start, qe.e.End})
+		}{e.Value, e.Start, e.End})
+	}
+	for _, qe := range b.q.Items() {
+		switch {
+		case qe.ctl != nil:
+		case qe.b != nil:
+			for _, e := range qe.b {
+				add(e)
+			}
+		default:
+			add(qe.e)
+		}
 	}
 	b.mu.Unlock()
 	return enc.Encode(st)
@@ -231,16 +317,18 @@ func (b *Buffer) LoadState(dec *gob.Decoder) error {
 			Interval: temporal.Interval{Start: w.Start, End: w.End},
 			Trace:    nil,
 		}})
+		b.count++
 	}
 	b.mu.Unlock()
 	return nil
 }
 
-// Len returns the number of buffered elements.
+// Len returns the number of buffered work units: data elements (a frame
+// counts its length) plus in-band controls.
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.q.Len()
+	return b.count
 }
 
 // UpstreamDone reports whether the producer side has signalled done.

@@ -123,6 +123,15 @@ func (g *Gate) deliver(e temporal.Element, input int, sink Sink) bool {
 	return true
 }
 
+// blockedInput reports whether input is currently blocked — the one-load
+// frame-level check of TransferBatch. A false result is stable for the
+// caller: an input is only ever blocked from its own (serialised) control
+// stream, so it cannot flip to blocked concurrently with a data transfer
+// on the same edge.
+func (g *Gate) blockedInput(input int) bool {
+	return g.blocked.Load()&(1<<uint(input)) != 0
+}
+
 // block marks input as blocked: subsequently published elements on it are
 // parked until release.
 func (g *Gate) block(input int) {

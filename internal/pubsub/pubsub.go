@@ -72,6 +72,11 @@ type Subscription struct {
 	// so Transfer avoids a per-element type assertion. Nil for sinks that
 	// never block (everything except multi-input operators).
 	gate *Gate
+
+	// batch is the sink's frame-consuming identity, cached at Subscribe
+	// time so TransferBatch avoids a per-frame type assertion. Nil for
+	// sinks served by the per-element fallback.
+	batch BatchSink
 }
 
 // ErrDone is returned by Subscribe when the source has already signalled
@@ -99,6 +104,12 @@ type SourceBase struct {
 	subs atomic.Pointer[[]Subscription] // immutable snapshot read by Transfer
 	done atomic.Bool
 	hook atomic.Pointer[TransferHook] // optional telemetry tap on Transfer
+
+	// hookScratch is the publisher-owned frame TransferBatch annotates
+	// into when a hook is installed (published frames may be views the
+	// hook must not write through). Guarded by the Transfer serialisation
+	// rule: one goroutine publishes at a time.
+	hookScratch temporal.Batch
 }
 
 // TransferHook observes — and may annotate — every element a source
@@ -145,6 +156,9 @@ func (s *SourceBase) Subscribe(sink Sink, input int) error {
 	sub := Subscription{Sink: sink, Input: input}
 	if g, ok := sink.(Gated); ok {
 		sub.gate = g.BarrierGate()
+	}
+	if bs, ok := sink.(BatchSink); ok {
+		sub.batch = bs
 	}
 	next[len(cur)] = sub
 	s.subs.Store(&next)

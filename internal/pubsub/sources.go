@@ -50,6 +50,27 @@ func (s *SliceSource) EmitNext() bool {
 	return true
 }
 
+// EmitBatch implements BatchEmitter: the next up-to-max elements are
+// published as a zero-copy view of the backing slice in one
+// TransferBatch. Publishing a view is legal under the temporal.Batch
+// borrow contract: subscribers read the frame only for the duration of
+// the call and never write through it (TransferBatch annotates into its
+// own scratch when a hook is installed).
+func (s *SliceSource) EmitBatch(max int) (int, bool) {
+	p := int(s.pos.Load())
+	if p >= len(s.elems) {
+		s.SignalDone()
+		return 0, false
+	}
+	n := len(s.elems) - p
+	if max > 0 && n > max {
+		n = max
+	}
+	s.pos.Store(int64(p + n))
+	s.TransferBatch(temporal.Batch(s.elems[p : p+n]))
+	return n, true
+}
+
 // Remaining returns the number of unpublished elements.
 func (s *SliceSource) Remaining() int { return len(s.elems) - int(s.pos.Load()) }
 
@@ -58,6 +79,9 @@ func (s *SliceSource) Remaining() int { return len(s.elems) - int(s.pos.Load()) 
 type FuncSource struct {
 	SourceBase
 	next func() (temporal.Element, bool)
+	// frame is the reusable scratch EmitBatch publishes (single emitter,
+	// and the borrow ends when TransferBatch returns).
+	frame temporal.Batch
 }
 
 // NewFuncSource returns a source driven by next.
@@ -74,6 +98,31 @@ func (s *FuncSource) EmitNext() bool {
 	}
 	s.Transfer(e)
 	return true
+}
+
+// EmitBatch implements BatchEmitter: up to max generator pulls fill the
+// reusable scratch frame, published in one TransferBatch. Exhaustion
+// mid-frame publishes the partial frame before signalling done.
+func (s *FuncSource) EmitBatch(max int) (int, bool) {
+	if max <= 0 {
+		max = 1
+	}
+	frame := s.frame[:0]
+	for len(frame) < max {
+		e, ok := s.next()
+		if !ok {
+			if len(frame) > 0 {
+				s.TransferBatch(frame)
+			}
+			s.frame = frame
+			s.SignalDone()
+			return len(frame), false
+		}
+		frame = append(frame, e)
+	}
+	s.TransferBatch(frame)
+	s.frame = frame
+	return len(frame), true
 }
 
 // ChanSource adapts a Go channel of elements to a source: the idiomatic

@@ -48,16 +48,27 @@ type Profiled interface {
 	CostNS() float64
 }
 
-// EmitterTask drives an active source one element per work unit.
+// EmitterTask drives an active source. Emitters implementing
+// pubsub.BatchEmitter publish whole frames per activation (the batch
+// lane); everything else is driven one element per work unit.
 type EmitterTask struct {
 	emitter pubsub.Emitter
+	// batch is the emitter's frame-publishing identity, cached at
+	// construction so RunBatch pays no per-activation type assertion.
+	batch pubsub.BatchEmitter
 	// done is atomic because Backlog is consulted lock-free by other
 	// workers probing for stealable work, concurrently with RunBatch.
 	done atomic.Bool
 }
 
 // NewEmitterTask wraps an emitter.
-func NewEmitterTask(e pubsub.Emitter) *EmitterTask { return &EmitterTask{emitter: e} }
+func NewEmitterTask(e pubsub.Emitter) *EmitterTask {
+	t := &EmitterTask{emitter: e}
+	if be, ok := e.(pubsub.BatchEmitter); ok {
+		t.batch = be
+	}
+	return t
+}
 
 // Name implements Task.
 func (t *EmitterTask) Name() string { return t.emitter.Name() }
@@ -66,6 +77,21 @@ func (t *EmitterTask) Name() string { return t.emitter.Name() }
 func (t *EmitterTask) RunBatch(max int) (int, bool) {
 	if t.done.Load() {
 		return 0, true
+	}
+	if t.batch != nil {
+		n := 0
+		for n < max {
+			k, more := t.batch.EmitBatch(max - n)
+			n += k
+			if !more {
+				t.done.Store(true)
+				return n, true
+			}
+			if k == 0 {
+				break // nothing ready right now (poll-style source)
+			}
+		}
+		return n, false
 	}
 	n := 0
 	for n < max {

@@ -9,16 +9,35 @@ import (
 type KeyFunc func(v any) any
 
 // Hash is the equi-join SweepArea: entries are bucketed by join key, so a
-// probe touches only its own bucket. Expiration uses a min-heap on
+// probe touches only its own bucket. Buckets are insertion-ordered slices
+// (not maps): probes scan contiguously and — crucially — emit matches in
+// deterministic insertion order, which makes join output reproducible
+// run-to-run and lets the batch/scalar differential harness compare
+// output sequences and state bytes exactly. Expiration uses a min-heap on
 // interval end with lazy tombstones, keeping Reorganize amortised
-// O(removed · log n).
+// O(removed · log n); dead slots are compacted once they outnumber the
+// live ones.
 type Hash struct {
 	probeKey  KeyFunc // key of the probing (opposite-input) value
 	storedKey KeyFunc // key of stored values
-	buckets   map[any]map[int64]temporal.Element
+	buckets   map[any]*hashBucket
 	expiry    *xds.Heap[hashEntry]
 	seq       int64
 	size      int
+}
+
+// hashBucket is one key's entries in insertion order. Slot seqs are
+// strictly increasing (assigned from the area-global counter), so removal
+// by seq is a binary search.
+type hashBucket struct {
+	slots []hashSlot
+	live  int
+}
+
+type hashSlot struct {
+	seq  int64
+	e    temporal.Element
+	dead bool
 }
 
 type hashEntry struct {
@@ -38,7 +57,7 @@ func NewHash(probeKey, storedKey KeyFunc) *Hash {
 	return &Hash{
 		probeKey:  probeKey,
 		storedKey: storedKey,
-		buckets:   map[any]map[int64]temporal.Element{},
+		buckets:   map[any]*hashBucket{},
 		expiry:    xds.NewHeap[hashEntry](func(a, b hashEntry) bool { return a.end < b.end }),
 	}
 }
@@ -48,19 +67,26 @@ func (h *Hash) Insert(e temporal.Element) {
 	k := h.storedKey(e.Value)
 	b := h.buckets[k]
 	if b == nil {
-		b = map[int64]temporal.Element{}
+		b = &hashBucket{}
 		h.buckets[k] = b
 	}
 	h.seq++
-	b[h.seq] = e
+	b.slots = append(b.slots, hashSlot{seq: h.seq, e: e})
+	b.live++
 	h.expiry.Push(hashEntry{end: e.End, seq: h.seq, key: k})
 	h.size++
 }
 
-// Probe implements SweepArea.
+// Probe implements SweepArea. Matches are emitted in insertion order.
 func (h *Hash) Probe(probe temporal.Element, emit func(temporal.Element)) {
-	for _, s := range h.buckets[h.probeKey(probe.Value)] {
-		emit(s)
+	b := h.buckets[h.probeKey(probe.Value)]
+	if b == nil {
+		return
+	}
+	for i := range b.slots {
+		if !b.slots[i].dead {
+			emit(b.slots[i].e)
+		}
 	}
 }
 
@@ -99,14 +125,38 @@ func (h *Hash) remove(he hashEntry) bool {
 	if b == nil {
 		return false
 	}
-	if _, present := b[he.seq]; !present {
+	// Binary search: slot seqs are strictly increasing in append order.
+	lo, hi := 0, len(b.slots)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.slots[mid].seq < he.seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(b.slots) || b.slots[lo].seq != he.seq || b.slots[lo].dead {
 		return false // tombstone: already shed/purged
 	}
-	delete(b, he.seq)
-	if len(b) == 0 {
-		delete(h.buckets, he.key)
-	}
+	b.slots[lo].dead = true
+	b.slots[lo].e = temporal.Element{} // release the value for GC
+	b.live--
 	h.size--
+	if b.live == 0 {
+		delete(h.buckets, he.key)
+		return true
+	}
+	// Compact once tombstones dominate; in-place filtering preserves
+	// insertion order (and therefore probe determinism).
+	if len(b.slots) >= 8 && b.live*2 < len(b.slots) {
+		kept := b.slots[:0]
+		for _, s := range b.slots {
+			if !s.dead {
+				kept = append(kept, s)
+			}
+		}
+		b.slots = kept
+	}
 	return true
 }
 
@@ -114,8 +164,10 @@ func (h *Hash) remove(he hashEntry) bool {
 func (h *Hash) Items() []temporal.Element {
 	out := make([]temporal.Element, 0, h.size)
 	for _, b := range h.buckets {
-		for _, e := range b {
-			out = append(out, e)
+		for i := range b.slots {
+			if !b.slots[i].dead {
+				out = append(out, b.slots[i].e)
+			}
 		}
 	}
 	return out
@@ -126,6 +178,7 @@ func (h *Hash) Len() int { return h.size }
 
 // MemoryUsage implements SweepArea.
 func (h *Hash) MemoryUsage() int {
-	// Entries plus heap bookkeeping (heap may hold tombstoned entries).
+	// Live entries plus heap bookkeeping (heap may hold tombstoned
+	// entries); dead slots linger until compaction but hold no value.
 	return h.size*bytesPerEntry + h.expiry.Len()*24
 }

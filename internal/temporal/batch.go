@@ -1,0 +1,33 @@
+package temporal
+
+// Batch is a frame: a contiguous run of stream elements handed between
+// nodes as one unit so the per-element virtual-call and locking costs of
+// the transfer path amortise across the run (see DESIGN.md, "Batched
+// transfer"). A frame is plain data — the elements inside it obey exactly
+// the same stream invariant as scalar transfers (non-decreasing Start) —
+// and it never spans a control punctuation: a barrier or metadata element
+// always cuts the current frame, so batched and scalar consumers observe
+// identical stream prefixes at every punctuation.
+//
+// Ownership contract (enforced by convention, checked by the differential
+// harness in internal/harness):
+//
+//   - The producer owns the frame. It may build the frame incrementally in
+//     place and — crucially — may reuse the same backing array as scratch
+//     for its next frame once the publishing TransferBatch call returns.
+//   - During TransferBatch every subscriber borrows the frame: it may read
+//     it and forward it further downstream within the same call (the
+//     borrow nests through synchronous hops), but it must copy out any
+//     element it keeps and must not retain or mutate the slice after its
+//     ProcessBatch returns.
+//   - The one asynchronous consumer, pubsub.Buffer, copies the frame into
+//     a buffer-owned frame at enqueue (recycled through a free list after
+//     drain). Between its Drain and the consuming ProcessBatch call that
+//     copy is single-owner: exactly one scheduler worker holds it (see
+//     CONCURRENCY.md).
+//
+// The borrow rule is what lets every hop of the batch lane run
+// allocation-free in steady state: sources publish views or reused
+// scratch, the vectorized operators compact into per-operator scratch,
+// and only the scheduler boundary pays one copy per frame.
+type Batch []Element
