@@ -194,3 +194,15 @@ func BenchmarkE20_BatchedTransfer(b *testing.B) {
 	b.Run("e19-batch64/mem-1s", experiments.E19CheckpointBatched(experiments.CheckpointMem, time.Second, 64))
 	b.Run("e19-batch64/file-1s", experiments.E19CheckpointBatched(experiments.CheckpointFile, time.Second, 64))
 }
+
+// E21: monitoring overhead on the batch lane — the E20 chain at frame 64
+// bare, with the flight recorder attached at every hop, and with the full
+// default monitoring stack (flight + metadata decorators). The ≤8%
+// acceptance envelope is the flight recorder (all its surfaces) vs bare;
+// the flight+monitors variant reports the complete stack for context.
+func BenchmarkE21_FlightOverhead(b *testing.B) {
+	b.Run("off", experiments.E21FlightOverhead(64, experiments.FlightOff))
+	b.Run("flight", experiments.E21FlightOverhead(64, experiments.FlightOn))
+	b.Run("flight+monitors", experiments.E21FlightOverhead(64, experiments.FlightFull))
+	b.Run(bname("flight/batch", 8), experiments.E21FlightOverhead(8, experiments.FlightOn))
+}

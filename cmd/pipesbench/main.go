@@ -175,6 +175,13 @@ func main() {
 		row("mem-1s", bench(experiments.E19CheckpointBatched(experiments.CheckpointMem, time.Second, 64)))
 		row("file-1s", bench(experiments.E19CheckpointBatched(experiments.CheckpointFile, time.Second, 64)))
 	}
+	if run("E21") {
+		section("E21 — flight-recorder overhead on the batch lane (E20 full chain, frame=64, ns/element)")
+		row("off", bench(experiments.E21FlightOverhead(64, experiments.FlightOff)))
+		row("flight", bench(experiments.E21FlightOverhead(64, experiments.FlightOn)))
+		row("flight+monitors", bench(experiments.E21FlightOverhead(64, experiments.FlightFull)))
+		row("flight/batch=8", bench(experiments.E21FlightOverhead(8, experiments.FlightOn)))
+	}
 }
 
 func section(title string) {

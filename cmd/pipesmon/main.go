@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -32,8 +33,14 @@ import (
 	"pipes"
 	"pipes/internal/metadata"
 	"pipes/internal/telemetry"
+	"pipes/internal/telemetry/flight"
 	"pipes/internal/traffic"
 )
+
+// scrapeClient bounds every remote request: a wedged or half-dead
+// endpoint surfaces as an error within the timeout instead of hanging
+// the dashboard forever.
+var scrapeClient = &http.Client{Timeout: 5 * time.Second}
 
 func main() {
 	var (
@@ -53,10 +60,12 @@ func main() {
 	os.Exit(runStandalone(*readings, *interval, *workers, *telAddr, *traceEach))
 }
 
-// row is one operator's dashboard line, keyed by metadata kind.
+// row is one operator's dashboard line, keyed by metadata kind, plus the
+// bottleneck attribution ("why slow") for the operator when one exists.
 type row struct {
 	op   string
 	vals map[string]float64
+	why  flight.Diagnosis
 }
 
 func runStandalone(readings int, interval time.Duration, workers int, telAddr string, traceEach int) int {
@@ -97,7 +106,7 @@ func runStandalone(readings int, interval time.Duration, workers int, telAddr st
 	for {
 		select {
 		case <-done:
-			dead := render(monitorRows(dsms.Monitors()), true)
+			dead := render(monitorRows(dsms), true)
 			fmt.Println("\nscheduler counters:")
 			for _, cv := range dsms.Scheduler.Counters().SortedSnapshot() {
 				fmt.Printf("  %-24s %d\n", cv.Name, cv.Value)
@@ -105,7 +114,7 @@ func runStandalone(readings int, interval time.Duration, workers int, telAddr st
 			fmt.Println("\nworkload complete")
 			return deadExit(dead)
 		case <-tick.C:
-			render(monitorRows(dsms.Monitors()), false)
+			render(monitorRows(dsms), false)
 		}
 	}
 }
@@ -138,10 +147,12 @@ func runAttached(addr string, interval, duration time.Duration) int {
 			rows, complete, err := scrapeRows(base)
 			if err != nil {
 				if scrapes > 0 {
-					// The remote engine went away; what we saw last is the
-					// final state.
-					fmt.Printf("remote endpoint gone (%v)\n", err)
-					return finish()
+					// The remote engine went away mid-run: render the last
+					// state we saw, say so clearly, and fail — a vanished
+					// endpoint is not a completed workload.
+					render(last, true)
+					fmt.Fprintf(os.Stderr, "ERROR: telemetry endpoint %s disappeared mid-run: %v\n", base, err)
+					return 2
 				}
 				fmt.Printf("waiting for %s: %v\n", base, err)
 				continue
@@ -157,24 +168,32 @@ func runAttached(addr string, interval, duration time.Duration) int {
 	}
 }
 
-// monitorRows converts in-process metadata decorators to dashboard rows.
-func monitorRows(monitors []*pipes.Monitored) []row {
+// monitorRows converts in-process metadata decorators to dashboard rows,
+// with the engine's own bottleneck attribution as the why-slow column.
+func monitorRows(dsms *pipes.DSMS) []row {
+	why := map[string]flight.Diagnosis{}
+	for _, d := range dsms.Bottleneck().Ops {
+		why[d.Op] = d
+	}
+	monitors := dsms.Monitors()
 	rows := make([]row, 0, len(monitors))
 	for _, m := range monitors {
 		vals := map[string]float64{}
 		for k, v := range m.Snapshot() {
 			vals[string(k)] = v
 		}
-		rows = append(rows, row{op: m.Inner().Name(), vals: vals})
+		op := m.Inner().Name()
+		rows = append(rows, row{op: op, vals: vals, why: why[op]})
 	}
 	return rows
 }
 
 // scrapeRows pulls /metrics from a remote endpoint and reconstructs the
-// dashboard rows from the pipes_metadata samples. complete reports whether
-// every scheduler task has finished.
+// dashboard rows from the pipes_metadata samples, joined with the
+// /bottleneck.json attribution. complete reports whether every scheduler
+// task has finished.
 func scrapeRows(base string) ([]row, bool, error) {
-	resp, err := http.Get(base + "/metrics")
+	resp, err := scrapeClient.Get(base + "/metrics")
 	if err != nil {
 		return nil, false, err
 	}
@@ -203,11 +222,35 @@ func scrapeRows(base string) ([]row, bool, error) {
 			}
 		}
 	}
+	why := scrapeBottleneck(base)
 	rows := make([]row, 0, len(byOp))
 	for op, vals := range byOp {
-		rows = append(rows, row{op: op, vals: vals})
+		rows = append(rows, row{op: op, vals: vals, why: why[op]})
 	}
 	return rows, tasks > 0 && tasksDone == tasks, nil
+}
+
+// scrapeBottleneck fetches the per-operator attribution from
+// /bottleneck.json. Best-effort: an engine predating the endpoint (404)
+// or a malformed document just leaves the why-slow column empty.
+func scrapeBottleneck(base string) map[string]flight.Diagnosis {
+	why := map[string]flight.Diagnosis{}
+	resp, err := scrapeClient.Get(base + "/bottleneck.json")
+	if err != nil {
+		return why
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return why
+	}
+	var rep flight.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return why
+	}
+	for _, d := range rep.Ops {
+		why[d.Op] = d
+	}
+	return why
 }
 
 // render prints the dashboard and, on the final call, a cumulative totals
@@ -218,32 +261,49 @@ func render(rows []row, final bool) (dead []string) {
 		header = "final secondary metadata"
 	}
 	fmt.Printf("\n%s %s\n", header, time.Now().Format("15:04:05.000"))
-	fmt.Printf("  %-16s %10s %10s %8s %10s %10s %8s %9s %9s\n",
-		"operator", "in", "out", "sel", "in/s", "out/s", "memB", "svc p50", "svc p99")
+	fmt.Printf("  %-16s %10s %10s %8s %10s %10s %8s %9s %9s  %s\n",
+		"operator", "in", "out", "sel", "in/s", "out/s", "memB", "svc p50", "svc p99", "why slow")
 	sort.Slice(rows, func(i, j int) bool { return rows[i].op < rows[j].op })
 	var totIn, totOut, totMem float64
+	var slow []row
 	for _, r := range rows {
 		s := r.vals
-		fmt.Printf("  %-16s %10.0f %10.0f %8.3f %10.0f %10.0f %8.0f %9s %9s\n",
+		fmt.Printf("  %-16s %10.0f %10.0f %8.3f %10.0f %10.0f %8.0f %9s %9s  %s\n",
 			r.op,
 			s[string(metadata.InputCount)], s[string(metadata.OutputCount)], s[string(metadata.Selectivity)],
 			s[string(metadata.InputRate)], s[string(metadata.OutputRate)], s[string(metadata.MemoryUsage)],
-			ns(s[string(metadata.ServiceTimeP50)]), ns(s[string(metadata.ServiceTimeP99)]))
+			ns(s[string(metadata.ServiceTimeP50)]), ns(s[string(metadata.ServiceTimeP99)]),
+			whyCell(r.why))
 		totIn += s[string(metadata.InputCount)]
 		totOut += s[string(metadata.OutputCount)]
 		totMem += s[string(metadata.MemoryUsage)]
 		if s[string(metadata.InputCount)] > 0 && s[string(metadata.OutputCount)] == 0 {
 			dead = append(dead, r.op)
 		}
+		if r.why.Verdict != "" && r.why.Verdict != flight.VerdictOK {
+			slow = append(slow, r)
+		}
 	}
 	if final {
 		fmt.Printf("  %-16s %10.0f %10.0f %8s %10s %10s %8.0f\n",
 			"TOTAL", totIn, totOut, "", "", "", totMem)
+		for _, r := range slow {
+			fmt.Printf("  why slow: %s: %s\n", r.op, r.why.Reason)
+		}
 	}
 	if !final {
 		return nil
 	}
 	return dead
+}
+
+// whyCell renders the bottleneck verdict column ("-" when the attribution
+// has nothing to say about the operator).
+func whyCell(d flight.Diagnosis) string {
+	if d.Verdict == "" || d.Verdict == flight.VerdictOK {
+		return "-"
+	}
+	return string(d.Verdict)
 }
 
 // ns formats a nanosecond quantity compactly ("-" when absent).

@@ -39,11 +39,20 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope is the set of package-path suffixes whose element flow is the hot
-// path.
-var scope = []string{"ops", "pubsub", "aggregate", "metadata", "sweeparea", "temporal", "xds"}
+// path. telemetry and telemetry/flight are scoped because histogram
+// observation and flight recording sit directly on Transfer/Process
+// paths; their sanctioned clock reads live behind stride guards or Clock
+// implementations.
+var scope = []string{"ops", "pubsub", "aggregate", "metadata", "sweeparea", "temporal", "xds", "telemetry", "flight"}
 
-// hotRoots are the method names that begin a per-element code path.
-var hotRoots = map[string]bool{"Process": true, "Transfer": true, "Drain": true}
+// hotRoots are the method names that begin a per-element (or per-frame)
+// code path. ProcessBatch/TransferBatch are the batch lane's equivalents
+// of Process/Transfer: a clock read there repeats per frame, which at
+// small frame sizes is per-element cost in disguise.
+var hotRoots = map[string]bool{
+	"Process": true, "Transfer": true, "Drain": true,
+	"ProcessBatch": true, "TransferBatch": true,
+}
 
 func run(pass *analysis.Pass) (any, error) {
 	if !vetutil.InScope(pass.Pkg.Path(), scope...) {

@@ -3,11 +3,15 @@ package experiments
 import (
 	"testing"
 
+	"pipes/internal/aggregate"
 	"pipes/internal/cql"
 	"pipes/internal/metadata"
+	"pipes/internal/ops"
 	"pipes/internal/optimizer"
 	"pipes/internal/pubsub"
+	"pipes/internal/sched"
 	"pipes/internal/telemetry"
+	"pipes/internal/telemetry/flight"
 	"pipes/internal/temporal"
 	"pipes/internal/traffic"
 )
@@ -87,4 +91,127 @@ func E18Telemetry(mode TelemetryMode, traceEvery int) func(b *testing.B) {
 			b.ReportMetric(float64(tracer.Sampled()), "traces")
 		}
 	}
+}
+
+// FlightMode selects the instrumentation level for E21.
+type FlightMode int
+
+const (
+	// FlightOff runs the bare batch lane.
+	FlightOff FlightMode = iota
+	// FlightOn attaches flight-recorder handles to every hop: frame
+	// occupancy and edge counters on each transfer, strided buffer
+	// depth waterlines at the boundaries, ring events 1-in-16.
+	FlightOn
+	// FlightFull adds the secondary-metadata decorators on top — the
+	// engine's complete always-on monitoring stack, matching what a
+	// default-config DSMS (MonitorQueries plus flight recorder) runs.
+	FlightFull
+)
+
+// E21FlightOverhead measures monitoring overhead on the batched transfer
+// lane: the E20 full chain (boundaries included) at the given frame size,
+// bare vs flight-recorded vs flight+metadata. The flight recorder hangs
+// off the hot path at every TransferBatch and buffer enqueue/drain, so
+// the flight-vs-off delta is the number the ≤8% acceptance envelope is
+// measured against; flight+metadata reports the complete default stack.
+func E21FlightOverhead(frame int, mode FlightMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := e20Source("traffic", b.N)
+		c, tasks, instrumented := e21Graph(src, mode == FlightFull)
+		var rec *flight.Recorder
+		if mode != FlightOff {
+			rec = newE21Recorder(src, tasks, instrumented)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e20Drive(src, frame, tasks)
+		b.StopTimer()
+		if c.Count() == 0 && b.N > 10_000 {
+			b.Fatal("chain produced no output")
+		}
+		if rec != nil {
+			frames := int64(0)
+			for _, ref := range rec.Refs() {
+				frames += ref.Frames()
+			}
+			b.ReportMetric(float64(frames), "frames")
+			b.ReportMetric(float64(len(rec.Events())), "ring-events")
+		}
+	}
+}
+
+// e21Graph wires the E20 full chain (filter/map-dense segment plus the
+// stateful window/aggregate tail, both scheduler boundaries) with optional
+// metadata decoration, returning the per-operator flight attachment points
+// keyed by name (the decorators delegate transfers through their own
+// SourceBase, so refs attach to whichever node actually publishes).
+func e21Graph(feed pubsub.Source, monitored bool) (*pubsub.Counter, []*sched.BufferTask, map[string]flightAttachable) {
+	instrumented := map[string]flightAttachable{}
+	wrap := func(p pubsub.Pipe) pubsub.Pipe {
+		name := p.(pubsub.Node).Name()
+		var out pubsub.Pipe = p
+		if monitored {
+			out = metadata.NewMonitored(p)
+		}
+		instrumented[name] = out.(flightAttachable)
+		return out
+	}
+	f1 := wrap(ops.NewFilter("oakland", func(v any) bool {
+		return v.(traffic.Reading).Direction == traffic.DirOakland
+	}))
+	m1 := wrap(ops.NewMap("kmh", func(v any) any {
+		r := v.(traffic.Reading)
+		r.Speed *= 1.609344
+		return r
+	}))
+	f2 := wrap(ops.NewFilter("moving", func(v any) bool {
+		return v.(traffic.Reading).Speed >= 8
+	}))
+	f3 := wrap(ops.NewFilter("hov", func(v any) bool {
+		return v.(traffic.Reading).Lane == traffic.HOVLane
+	}))
+	m2 := wrap(ops.NewMap("speed", func(v any) any {
+		return v.(traffic.Reading).Speed
+	}))
+	w := wrap(ops.NewTimeWindow("w1m", 60_000))
+	g := wrap(ops.NewAggregate("avghov", aggregate.NewAvg))
+	c := pubsub.NewCounter("c", 1)
+
+	t1, err := sched.Boundary("q.in", feed, f1, 0)
+	if err != nil {
+		panic(err)
+	}
+	f1.Subscribe(m1, 0)
+	m1.Subscribe(f2, 0)
+	t2, err := sched.Boundary("q.mid", f2, f3, 0)
+	if err != nil {
+		panic(err)
+	}
+	f3.Subscribe(m2, 0)
+	m2.Subscribe(w, 0)
+	w.Subscribe(g, 0)
+	g.Subscribe(c, 0)
+	return c, []*sched.BufferTask{t1, t2}, instrumented
+}
+
+// flightAttachable is the attachment half of the facade's
+// flightInstrumented probe (every SourceBase-embedding node satisfies it).
+type flightAttachable interface {
+	SetFlightRef(*flight.OpRef)
+}
+
+// newE21Recorder attaches a fresh flight recorder to every hop of the E21
+// chain: the feed, both boundary buffers, and each operator's publishing
+// base — mirroring DSMS.attachFlight.
+func newE21Recorder(src *pubsub.FuncSource, tasks []*sched.BufferTask, instrumented map[string]flightAttachable) *flight.Recorder {
+	rec := flight.New(0)
+	src.SetFlightRef(rec.Ref("traffic"))
+	for _, t := range tasks {
+		t.Buffer().SetFlightRef(rec.Ref(t.Name()))
+	}
+	for name, node := range instrumented {
+		node.SetFlightRef(rec.Ref(name))
+	}
+	return rec
 }

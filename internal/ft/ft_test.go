@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -378,5 +379,68 @@ func doneAll(p pubsub.Pipe) {
 	}
 	for i := 0; i < n; i++ {
 		p.Done(i)
+	}
+}
+
+// A round that completes on the tick goroutine concurrently with
+// shutdown must not be lost: its hand-off to the writer can land after
+// the writer's own shutdown drain already looked, so Stop performs a
+// final drain once all manager goroutines have exited. The sourceless
+// graph is the path where Trigger completes a round inline on the
+// caller — here the ticker — making the hand-off race Stop directly.
+// The invariant under test: every round that reached the "complete"
+// stage before Stop returned is counted by Completed(). Regression for
+// a flaky round loss observed under the facade's 1ms cadence.
+func TestStopSealsRoundCompletedDuringShutdown(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		mgr := ft.NewManager(ft.NewMemStore())
+		var completed atomic.Int64
+		mgr.OnEvent(func(ev ft.Event) {
+			if ev.Stage == "complete" {
+				completed.Add(1)
+			}
+		})
+		mgr.Start(10 * time.Microsecond)
+		// Let the ticker complete a few rounds, then race it with Stop.
+		time.Sleep(time.Duration(1+i%7) * 40 * time.Microsecond)
+		mgr.Stop()
+		if got := mgr.Completed(); got != completed.Load() {
+			t.Fatalf("iteration %d: %d rounds reached complete but %d sealed after Stop",
+				i, completed.Load(), got)
+		}
+	}
+}
+
+// Rounds must not start after every source has ended: end-of-stream
+// flushes operator state, so a post-done barrier would seal a
+// non-resumable snapshot (recovering it replays input into post-flush
+// windows). Regression for recovery-order violations seen when the
+// facade's periodic trigger fired after workload completion.
+func TestTriggerRefusedAfterStreamEnd(t *testing.T) {
+	mgr := ft.NewManager(ft.NewMemStore())
+	src := ft.NewCheckpointSource(pubsub.NewSliceSource("src", []temporal.Element{
+		el(1, 1, 10),
+	}))
+	sink := ft.NewCheckpointSink("sink")
+	if err := src.Subscribe(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	mgr.RegisterSource(src)
+	mgr.RegisterSink(sink)
+	mgr.Start(0)
+	defer mgr.Stop()
+	if src.Ended() {
+		t.Fatal("source reports ended before emitting")
+	}
+	for src.EmitNext() {
+	}
+	if !src.Ended() {
+		t.Fatal("source does not report ended after exhaustion")
+	}
+	if _, err := mgr.Trigger(); err != ft.ErrStreamEnded {
+		t.Fatalf("Trigger after stream end: err = %v, want ErrStreamEnded", err)
+	}
+	if got := mgr.Completed(); got != 0 {
+		t.Fatalf("completed rounds: %d, want 0", got)
 	}
 }

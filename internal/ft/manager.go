@@ -11,6 +11,7 @@ import (
 
 	"pipes/internal/pubsub"
 	"pipes/internal/telemetry"
+	"pipes/internal/telemetry/flight"
 )
 
 // BarrierHooked is the operator-side attachment point: every operator
@@ -63,6 +64,13 @@ type Manager struct {
 	writeCh chan *pending
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
+
+	// Flight recording (nil = detached): per-operator state-encode
+	// durations and per-round store-write/round-done phases land in the
+	// system event ring next to the alignment holds pubsub records.
+	flightRec  *flight.Recorder
+	flightRefs map[string]*flight.OpRef
+	storeRef   *flight.OpRef
 
 	// Metrics, wired into telemetry via RegisterMetrics.
 	durHist       *telemetry.Histogram
@@ -133,6 +141,34 @@ func (m *Manager) RegisterSink(s *CheckpointSink) {
 // harness, logging). Must be set before Start.
 func (m *Manager) OnEvent(fn func(Event)) { m.onEvent = fn }
 
+// SetFlightRecorder attaches the flight recorder (nil detaches). Must be
+// set before Start; the barrier-phase events (state encode per operator,
+// store write and round completion per round) are recorded through it.
+func (m *Manager) SetFlightRecorder(r *flight.Recorder) {
+	m.flightRec = r
+	if r == nil {
+		m.flightRefs, m.storeRef = nil, nil
+		return
+	}
+	m.flightRefs = map[string]*flight.OpRef{}
+	m.storeRef = r.Ref("checkpoint.store")
+}
+
+// flightRef interns one operator's handle lazily (under mu).
+func (m *Manager) flightRef(name string) *flight.OpRef {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.flightRefs == nil {
+		return nil
+	}
+	ref := m.flightRefs[name]
+	if ref == nil {
+		ref = m.flightRec.Ref(name)
+		m.flightRefs[name] = ref
+	}
+	return ref
+}
+
 func (m *Manager) emit(ev Event) {
 	if m.onEvent != nil {
 		m.onEvent(ev)
@@ -171,6 +207,18 @@ func (m *Manager) Stop() {
 	m.mu.Unlock()
 	close(m.stopCh)
 	m.wg.Wait()
+	// A round can complete on the tick goroutine concurrently with
+	// shutdown (a barrier requested after stream end injects and collects
+	// inline in Trigger): its writeCh send may land after the writer's own
+	// drain already looked. After wg.Wait the trigger and writer
+	// goroutines are gone, so whatever sits in the buffer now is the final
+	// word — write it here rather than losing a sealed-complete round.
+	//pipesvet:allow nogoroutine shutdown drain runs after all manager goroutines exited
+	select {
+	case p := <-m.writeCh: //pipesvet:allow nogoroutine shutdown drain
+		m.write(p)
+	default:
+	}
 }
 
 func (m *Manager) writeLoop() {
@@ -213,6 +261,16 @@ func (m *Manager) tickLoop(interval time.Duration) {
 // alignment protocol's contract).
 var ErrRoundInFlight = errors.New("ft: checkpoint round in flight")
 
+// ErrStreamEnded is returned by Trigger once every registered source has
+// ended. Operators flush on end-of-stream (windows emit their still-open
+// aggregates), so a barrier injected after done has propagated would
+// snapshot post-flush state at the final offset — a checkpoint that
+// double-counts the flushed windows when recovery replays further input
+// into it. Barriers requested *before* the end are still flushed ahead of
+// done (CheckpointSource.Done ordering), so mid-stream rounds racing
+// stream completion stay valid; only new rounds are refused.
+var ErrStreamEnded = errors.New("ft: all sources ended; no further checkpoint rounds")
+
 // Trigger starts one checkpoint round: it allocates the next barrier ID
 // and requests injection at every registered source. It returns the
 // round's ID, or ErrRoundInFlight when the previous round is still
@@ -223,6 +281,19 @@ func (m *Manager) Trigger() (uint64, error) {
 		m.mu.Unlock()
 		m.skipped.Add(1)
 		return 0, ErrRoundInFlight
+	}
+	if len(m.sources) > 0 {
+		live := false
+		for _, cs := range m.sources {
+			if !cs.Ended() {
+				live = true
+				break
+			}
+		}
+		if !live {
+			m.mu.Unlock()
+			return 0, ErrStreamEnded
+		}
 	}
 	m.nextID++
 	id := m.nextID
@@ -276,8 +347,17 @@ func (m *Manager) saveState(b pubsub.Barrier, name string, saver StateSaver) {
 		m.scratch[name] = buf
 	}
 	m.mu.Unlock()
+	var encStart int64
+	if m.flightRec != nil {
+		encStart = m.flightRec.NowNS()
+	}
 	buf.Reset()
 	err := saver.SaveState(gob.NewEncoder(buf))
+	if m.flightRec != nil {
+		if ref := m.flightRef(name); ref != nil {
+			ref.Phase(flight.KindEncode, int64(b.ID), m.flightRec.NowNS()-encStart, int64(buf.Len()))
+		}
+	}
 	p.mu.Lock()
 	if err != nil {
 		// A snapshot that cannot serialise poisons the round: mark the
@@ -335,6 +415,10 @@ func (m *Manager) maybeComplete(p *pending) {
 
 // write persists one completed round and retires it.
 func (m *Manager) write(p *pending) {
+	var writeStart int64
+	if m.flightRec != nil {
+		writeStart = m.flightRec.NowNS()
+	}
 	err := m.writeStore(p)
 	m.mu.Lock()
 	if m.cur == p {
@@ -346,10 +430,15 @@ func (m *Manager) write(p *pending) {
 		m.emit(Event{Stage: "failed", ID: p.id})
 		return
 	}
-	m.durHist.Observe(time.Since(p.begun).Nanoseconds())
+	roundNS := time.Since(p.begun).Nanoseconds()
+	m.durHist.Observe(roundNS)
 	var bytesTotal int64
 	for _, st := range p.states {
 		bytesTotal += int64(len(st))
+	}
+	if m.flightRec != nil {
+		m.storeRef.Phase(flight.KindStoreWrite, int64(p.id), m.flightRec.NowNS()-writeStart, bytesTotal)
+		m.storeRef.Phase(flight.KindRoundDone, int64(p.id), roundNS, bytesTotal)
 	}
 	m.lastID.Store(p.id)
 	m.lastBytes.Store(bytesTotal)

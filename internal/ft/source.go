@@ -149,6 +149,14 @@ func (cs *CheckpointSource) setOnRequest(fn func(b pubsub.Barrier, sourceName st
 	cs.mu.Unlock()
 }
 
+// Ended reports whether the inner stream has completed (done reached the
+// counting tap and has propagated downstream).
+func (cs *CheckpointSource) Ended() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.done
+}
+
 // Offset returns the number of elements published so far.
 func (cs *CheckpointSource) Offset() int {
 	cs.mu.Lock()

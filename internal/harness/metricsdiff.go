@@ -1,0 +1,64 @@
+// Metrics-equivalence oracle for the scalar-vs-batch differential pair:
+// a plan whose operators are wrapped in metadata decorators must collect
+// the SAME time-independent secondary metadata through both transfer
+// lanes. Counts and application-time stamps are per-element exact in both
+// lanes; selectivity derives from the counts; and the maintenance stride
+// fires on the same 1-based element ordinals (1, 17, 33, ...) regardless
+// of frame grouping, so even the *number* of service-time samples must
+// agree. Rates, EWMA costs and latency quantiles are wall-clock-dependent
+// and excluded from the comparison.
+package harness
+
+import (
+	"fmt"
+
+	"pipes/internal/metadata"
+)
+
+// MonitorSnapshot is the comparable, time-independent metadata of one
+// decorator after a lane ran to completion.
+type MonitorSnapshot struct {
+	// Op is the inner operator's name.
+	Op string
+	// InputCount and OutputCount are exact element tallies.
+	InputCount  float64
+	OutputCount float64
+	// Selectivity is outputs per input, derived from the counts.
+	Selectivity float64
+	// LastInput and LastOutput are application timestamps (not wall time).
+	LastInput  float64
+	LastOutput float64
+	// SvcSamples counts service-time observations: one per maintenance
+	// stride hit, a pure function of InputCount.
+	SvcSamples uint64
+}
+
+// SnapshotMonitors captures each decorator's comparable metadata, in
+// registration order.
+func SnapshotMonitors(ms []*metadata.Monitored) []MonitorSnapshot {
+	out := make([]MonitorSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MonitorSnapshot{Op: m.Inner().Name(), SvcSamples: m.ServiceTimeHistogram().Count()}
+		s.InputCount, _ = m.Get(metadata.InputCount)
+		s.OutputCount, _ = m.Get(metadata.OutputCount)
+		s.Selectivity, _ = m.Get(metadata.Selectivity)
+		s.LastInput, _ = m.Get(metadata.LastInputStamp)
+		s.LastOutput, _ = m.Get(metadata.LastOutputStamp)
+		out = append(out, s)
+	}
+	return out
+}
+
+// MetricsDiff compares the two lanes' snapshots for exact agreement and
+// reports the first divergence.
+func MetricsDiff(scalar, batch []MonitorSnapshot) error {
+	if len(scalar) != len(batch) {
+		return fmt.Errorf("monitors: scalar lane has %d, batch lane has %d", len(scalar), len(batch))
+	}
+	for i := range scalar {
+		if scalar[i] != batch[i] {
+			return fmt.Errorf("monitor %s: scalar %+v, batch %+v", scalar[i].Op, scalar[i], batch[i])
+		}
+	}
+	return nil
+}

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pipes/internal/telemetry/flight"
 )
 
 // User is the minimal capability a managed operator must expose.
@@ -97,6 +99,9 @@ type Manager struct {
 	mu    sync.Mutex
 	total int
 	subs  []*Subscription
+
+	// flightRec records shed events (nil = detached).
+	flightRec atomic.Pointer[flight.Recorder]
 }
 
 // NewManager returns a manager with a global budget of total bytes
@@ -209,9 +214,19 @@ func (m *Manager) Enforce() int {
 		s.shedB.Add(int64(freed))
 		s.shedEv.Add(1)
 		total += freed
+		if rec := m.flightRec.Load(); rec != nil {
+			rec.Record(rec.Ref(s.user.Name()), flight.KindShed, int64(freed), int64(use), int64(limit))
+		}
 	}
 	return total
 }
+
+// SetFlightRecorder attaches the flight recorder (nil detaches): every
+// shed lands a KindShed event carrying bytes freed, usage before the shed
+// and the assigned limit on the shedding operator's track. Enforce runs
+// on the manager cycle, not the element hot path, so the intern lookup
+// per shed is fine.
+func (m *Manager) SetFlightRecorder(r *flight.Recorder) { m.flightRec.Store(r) }
 
 // Step is one manager cycle: redistribute then enforce. Call it from the
 // runtime loop (or Run).

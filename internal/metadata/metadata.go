@@ -194,6 +194,12 @@ type Monitored struct {
 	inner pubsub.Pipe
 	clock Clock
 
+	// innerBatch caches the inner node's frame-consuming identity (nil
+	// when the inner operator has no ProcessBatch), so the decorator's
+	// batch path pays no per-frame type assertion — the same trick
+	// pubsub.Subscribe plays.
+	innerBatch pubsub.BatchSink
+
 	// svcHist and queueHist are the decorator's latency histograms:
 	// service time (inner Process duration, sampled 1-in-maintainEvery
 	// while a service/processing-cost kind is active) and queue time
@@ -312,8 +318,27 @@ func NewMonitored(inner pubsub.Pipe, opts ...Option) *Monitored {
 		}
 	}
 	m.recomputeFlags()
+	if bs, ok := inner.(pubsub.BatchSink); ok {
+		m.innerBatch = bs
+	}
 	inner.Subscribe((*monitorTap)(m), 0)
 	return m
+}
+
+// maintainHitsIn reports how many maintenance-stride samples land in a
+// run of frameLen elements counted after prev earlier ones: the stride
+// fires on (1-based) elements 1, 1+maintainEvery, 1+2·maintainEvery, …
+// — exactly the elements the scalar path's (n-1)%maintainEvery == 0 test
+// selects, so a frame of any size advances the stride as if delivered
+// element by element.
+func maintainHitsIn(prev, frameLen int64) int64 {
+	hitsUpTo := func(x int64) int64 {
+		if x < 0 {
+			return 0
+		}
+		return x/maintainEvery + 1
+	}
+	return hitsUpTo(prev+frameLen-1) - hitsUpTo(prev-1)
 }
 
 // monitorTap is the internal sink the decorator plants on the inner node's
@@ -341,6 +366,41 @@ func (t *monitorTap) Process(e temporal.Element, _ int) {
 		}
 	}
 	m.Transfer(e)
+}
+
+// ProcessBatch implements pubsub.BatchSink: output counting stays
+// per-element exact while the frame passes through whole. A frame
+// carrying a traced element (the inner operator forwarded one, or a
+// trace context is active) falls back to the per-element tap so hop
+// attribution stays exact.
+func (t *monitorTap) ProcessBatch(b temporal.Batch, input int) {
+	if len(b) == 0 {
+		return
+	}
+	m := (*Monitored)(t)
+	if m.tracer != nil {
+		if m.active.Load() != nil {
+			for _, e := range b {
+				t.Process(e, input)
+			}
+			return
+		}
+		for i := range b {
+			if b[i].Trace != nil {
+				for _, e := range b {
+					t.Process(e, input)
+				}
+				return
+			}
+		}
+	}
+	frame := int64(len(b))
+	prev := m.outCount.Add(frame) - frame
+	m.lastOut.Store(int64(b[len(b)-1].Start))
+	if maintain := maintainHitsIn(prev, frame); maintain > 0 && m.flags.Load()&flagOutRate != 0 {
+		m.outRate.observe(time.Unix(0, m.nowNano.Load()), float64(maintain*maintainEvery))
+	}
+	m.TransferBatch(b)
 }
 
 // Done implements pubsub.Sink.
@@ -438,6 +498,79 @@ func (m *Monitored) Process(e temporal.Element, input int) {
 	m.inner.Process(e, input)
 }
 
+// ProcessBatch implements pubsub.BatchSink: the decorator consumes whole
+// frames so the batch lane survives decoration (without it every frame
+// would de-batch into per-element fallback calls at each monitored
+// operator — the undercounting *and* un-batching E21 measures). Counts,
+// stamps and selectivity stay per-element exact; rate estimators and the
+// service timer advance by the same 1-in-maintainEvery stride as the
+// scalar path, with the whole-frame measurement apportioned per element.
+// Frames carrying a traced element take the scalar path element by
+// element, which keeps trace attribution (traceMu/active hand-off) exact.
+func (m *Monitored) ProcessBatch(b temporal.Batch, input int) {
+	if len(b) == 0 {
+		return
+	}
+	if m.tracer != nil {
+		for i := range b {
+			if b[i].Trace != nil {
+				for _, e := range b {
+					m.Process(e, input)
+				}
+				return
+			}
+		}
+	}
+
+	flags := m.flags.Load()
+	frame := int64(len(b))
+	prev := m.inCount.Add(frame) - frame
+	m.lastIn.Store(int64(b[len(b)-1].Start))
+
+	maintain := maintainHitsIn(prev, frame)
+	var now time.Time
+	if maintain > 0 && flags&(flagInRate|flagOutRate|flagTiming) != 0 {
+		now = m.clock.Now()
+		m.nowNano.Store(now.UnixNano())
+		if flags&flagInRate != 0 {
+			// One folded observation stands for every stride sample the
+			// frame contains.
+			m.inRate.observe(now, float64(maintain*maintainEvery))
+		}
+	}
+
+	if maintain > 0 && flags&flagTiming != 0 {
+		start := now
+		if _, sys := m.clock.(SystemClock); !sys {
+			// Service time is real wall time even under a fake clock.
+			start = time.Now()
+		}
+		m.processFrame(b, input)
+		perElem := time.Since(start).Nanoseconds() / frame
+		m.svcHist.ObserveN(perElem, uint64(maintain))
+		elapsed := float64(perElem)
+		if old := math.Float64frombits(m.costNS.Load()); old == 0 {
+			m.costNS.Store(math.Float64bits(elapsed))
+		} else {
+			m.costNS.Store(math.Float64bits(0.2*elapsed + 0.8*old))
+		}
+		return
+	}
+	m.processFrame(b, input)
+}
+
+// processFrame hands one frame to the inner operator, falling back to
+// per-element delivery when it has no batch lane.
+func (m *Monitored) processFrame(b temporal.Batch, input int) {
+	if m.innerBatch != nil {
+		m.innerBatch.ProcessBatch(b, input)
+		return
+	}
+	for _, e := range b {
+		m.inner.Process(e, input)
+	}
+}
+
 // Done implements pubsub.Sink.
 func (m *Monitored) Done(input int) {
 	m.inner.Done(input)
@@ -473,7 +606,9 @@ func (m *Monitored) BarrierGate() *pubsub.Gate {
 // node (see internal/ft), so a decorated operator can be registered with
 // the checkpoint manager without unwrapping.
 func (m *Monitored) SetBarrierHooks(save, ack func(pubsub.Barrier)) {
-	if h, ok := m.inner.(interface{ SetBarrierHooks(_, _ func(pubsub.Barrier)) }); ok {
+	if h, ok := m.inner.(interface {
+		SetBarrierHooks(_, _ func(pubsub.Barrier))
+	}); ok {
 		h.SetBarrierHooks(save, ack)
 	}
 }

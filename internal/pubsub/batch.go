@@ -50,6 +50,9 @@ func (s *SourceBase) TransferBatch(b temporal.Batch) {
 	if len(b) == 0 {
 		return
 	}
+	if ref := s.fref.Load(); ref != nil {
+		ref.Frame(len(b))
+	}
 	if h := s.hook.Load(); h != nil {
 		// Hooks annotate elements (trace attachment), so they must not
 		// write through b: sources may publish views of slices they do not

@@ -127,7 +127,11 @@ func (b *Buffer) Process(e temporal.Element, _ int) {
 	b.mu.Lock()
 	b.q.Enqueue(queued{e: e, at: at}) // unbounded queue: cannot fail
 	b.count++
+	d := b.count
 	b.mu.Unlock()
+	if ref := b.fref.Load(); ref != nil {
+		ref.Enqueue(1, d)
+	}
 }
 
 // ProcessBatch implements BatchSink by enqueueing the whole frame as one
@@ -151,7 +155,11 @@ func (b *Buffer) ProcessBatch(batch temporal.Batch, _ int) {
 	own = append(own, batch...)
 	b.q.Enqueue(queued{b: own, at: at})
 	b.count += len(own)
+	d := b.count
 	b.mu.Unlock()
+	if ref := b.fref.Load(); ref != nil {
+		ref.Enqueue(len(batch), d)
+	}
 }
 
 // HandleControl implements ControlSink by enqueueing the control at its
@@ -230,7 +238,11 @@ func (b *Buffer) Drain(max int) int {
 	}
 	b.draining = false
 	finished := b.upstreamDone && b.q.Len() == 0
+	depth := b.count
 	b.mu.Unlock()
+	if ref := b.fref.Load(); ref != nil && n > 0 {
+		ref.Drained(n, depth)
+	}
 	if finished {
 		b.SignalDone()
 	}

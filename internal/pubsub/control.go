@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pipes/internal/telemetry/flight"
 	"pipes/internal/temporal"
 )
 
@@ -141,17 +142,18 @@ func (g *Gate) block(input int) {
 }
 
 // release unblocks every input and replays the parked elements, in
-// arrival order, into the operator. Publishers racing with the replay
-// keep parking (the mask stays set until the backlog is empty), so
-// per-edge order is preserved; the mask is cleared under the lock only
-// when no parked element remains.
-func (g *Gate) release() {
+// arrival order, into the operator, returning how many were replayed.
+// Publishers racing with the replay keep parking (the mask stays set
+// until the backlog is empty), so per-edge order is preserved; the mask
+// is cleared under the lock only when no parked element remains.
+func (g *Gate) release() int {
+	replayed := 0
 	for {
 		g.mu.Lock()
 		if len(g.held) == 0 {
 			g.blocked.Store(0)
 			g.mu.Unlock()
-			return
+			return replayed
 		}
 		batch := g.held
 		sink := g.sink
@@ -160,6 +162,7 @@ func (g *Gate) release() {
 		for _, h := range batch {
 			sink.Process(h.e, h.input)
 		}
+		replayed += len(batch)
 	}
 }
 
@@ -180,6 +183,11 @@ type barrierState struct {
 	cur      *Barrier // barrier currently aligning, nil when idle
 	seen     uint64   // inputs the current barrier arrived on
 	lastDone uint64   // highest barrier ID already handled (dedupe)
+	// holdStart stamps the first input block of the current round (flight
+	// clock, ns) so the alignment hold duration can be recorded on
+	// release. Zero when no input blocked or flight recording is
+	// detached.
+	holdStart int64
 }
 
 // SetBarrierHooks installs the checkpoint callbacks: save runs under
@@ -231,18 +239,26 @@ func (p *PipeBase) HandleControl(c Control, input int) {
 	if covered&all != all {
 		// Not aligned yet: block this input until the others catch up.
 		p.gate.block(input)
+		if p.barrier.holdStart == 0 {
+			if ref := p.fref.Load(); ref != nil {
+				p.barrier.holdStart = ref.NowNS()
+			}
+		}
 		p.barrier.mu.Unlock()
 		return
 	}
 	p.barrier.cur = nil
 	p.barrier.lastDone = b.ID
+	holdStart := p.barrier.holdStart
+	p.barrier.holdStart = 0
 	p.barrier.mu.Unlock()
-	p.completeBarrier(b)
+	p.completeBarrier(b, holdStart)
 }
 
 // completeBarrier runs the aligned path. The caller must have retired the
-// round under barrier.mu first (cur=nil, lastDone=ID).
-func (p *PipeBase) completeBarrier(b Barrier) {
+// round under barrier.mu first (cur=nil, lastDone=ID), capturing the
+// round's holdStart stamp (0 when no input ever blocked).
+func (p *PipeBase) completeBarrier(b Barrier, holdStart int64) {
 	// 1: snapshot while quiescent. Blocked inputs are parked in the gate
 	// and the aligning input's publisher is inside this call chain, so no
 	// data element can enter Process between the snapshot and the forward.
@@ -254,8 +270,17 @@ func (p *PipeBase) completeBarrier(b Barrier) {
 	// 2: forward downstream before anything post-barrier is processed.
 	p.TransferControl(b)
 	// 3: replay parked elements — their results are post-barrier.
+	replayed := 0
 	if p.inputs > 1 {
-		p.gate.release()
+		replayed = p.gate.release()
+	}
+	if ref := p.fref.Load(); ref != nil {
+		if holdStart != 0 {
+			ref.Phase(flight.KindAlignHold, int64(b.ID), ref.NowNS()-holdStart, int64(replayed))
+		}
+		if replayed > 0 {
+			ref.Phase(flight.KindGateReplay, int64(b.ID), int64(replayed), 0)
+		}
 	}
 	// 4: hand the round back to the coordinator. Runs after the forward
 	// so that when every operator has acked, every direct subscriber
@@ -284,6 +309,8 @@ func (p *PipeBase) barrierInputClosed() {
 	b := *p.barrier.cur
 	p.barrier.cur = nil
 	p.barrier.lastDone = b.ID
+	holdStart := p.barrier.holdStart
+	p.barrier.holdStart = 0
 	p.barrier.mu.Unlock()
-	p.completeBarrier(b)
+	p.completeBarrier(b, holdStart)
 }

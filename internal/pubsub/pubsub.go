@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pipes/internal/telemetry/flight"
 	"pipes/internal/temporal"
 )
 
@@ -104,6 +105,10 @@ type SourceBase struct {
 	subs atomic.Pointer[[]Subscription] // immutable snapshot read by Transfer
 	done atomic.Bool
 	hook atomic.Pointer[TransferHook] // optional telemetry tap on Transfer
+
+	// fref is the node's flight-recorder handle (nil = flight recording
+	// detached; the hot-path cost is then one atomic pointer load).
+	fref atomic.Pointer[flight.OpRef]
 
 	// hookScratch is the publisher-owned frame TransferBatch annotates
 	// into when a hook is installed (published frames may be views the
@@ -216,6 +221,15 @@ func (s *SourceBase) SetTransferHook(h TransferHook) {
 	}
 	s.hook.Store(&h)
 }
+
+// SetFlightRef attaches (or with nil detaches) the node's flight-recorder
+// handle. Attached, the batch lane records frame occupancy and buffers
+// record depth waterlines through it, behind the recorder's 1-in-16
+// stride.
+func (s *SourceBase) SetFlightRef(ref *flight.OpRef) { s.fref.Store(ref) }
+
+// FlightRef returns the attached flight handle (nil when detached).
+func (s *SourceBase) FlightRef() *flight.OpRef { return s.fref.Load() }
 
 // SignalDone propagates end-of-stream to all subscribers exactly once.
 func (s *SourceBase) SignalDone() {

@@ -140,6 +140,10 @@ func (t *BufferTask) SetProfile(selectivity, costNS float64) {
 // Name implements Task.
 func (t *BufferTask) Name() string { return t.buf.Name() }
 
+// Buffer returns the wrapped boundary buffer (for instrumentation that
+// attaches to the buffer itself, like flight-recorder handles).
+func (t *BufferTask) Buffer() *pubsub.Buffer { return t.buf }
+
 // RunBatch implements Task.
 func (t *BufferTask) RunBatch(max int) (int, bool) {
 	n := t.buf.Drain(max)

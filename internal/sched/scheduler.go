@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pipes/internal/metadata"
+	"pipes/internal/telemetry/flight"
 )
 
 // Config parameterises a Scheduler.
@@ -73,6 +74,20 @@ type Scheduler struct {
 	steals    *atomic.Int64 // batches run on tasks owned by another worker
 	stealMiss *atomic.Int64 // idle scans that found nothing to steal
 	conflicts *atomic.Int64 // activation-lock acquisition failures
+
+	// stealRef records steal events into the flight ring (nil = detached).
+	stealRef atomic.Pointer[flight.OpRef]
+}
+
+// SetFlightRecorder attaches the flight recorder (nil detaches): each
+// successful steal lands a KindSteal event carrying thief and victim
+// worker on the "sched" track.
+func (s *Scheduler) SetFlightRecorder(r *flight.Recorder) {
+	if r == nil {
+		s.stealRef.Store(nil)
+		return
+	}
+	s.stealRef.Store(r.Ref("sched"))
 }
 
 // New returns a scheduler with the given configuration.
@@ -213,12 +228,16 @@ func (s *Scheduler) runWorker(w int) {
 func (s *Scheduler) trySteal(w int) bool {
 	workers := len(s.tasks)
 	for off := 1; off < workers; off++ {
-		for _, t := range s.tasks[(w+off)%workers] {
+		victim := (w + off) % workers
+		for _, t := range s.tasks[victim] {
 			if t.isDone() || t.Backlog() == 0 {
 				continue
 			}
 			if ran, _, _ := s.runTask(t, s.cfg.BatchSize, true); ran {
 				s.steals.Add(1)
+				if ref := s.stealRef.Load(); ref != nil {
+					ref.Phase(flight.KindSteal, int64(w), int64(victim), 0)
+				}
 				return true
 			}
 		}

@@ -1,0 +1,246 @@
+// Bottleneck attribution: the /bottleneck.json engine. Attribute fuses
+// the flight ring (depth waterlines, frame occupancy, barrier phases)
+// with the metadata layer's latency split (queue vs service time) and
+// blames the slowest operator per query with a causal verdict:
+//
+//   - starved: queue time grows while service time stays flat and the
+//     input buffer is not backing up — the operator is waiting for work
+//     (upstream too slow, or the scheduler is not running its task).
+//   - backpressured: frames arrive near-full AND the input buffer depth
+//     is rising — the operator cannot keep up with its producer.
+//   - checkpoint-bound: barrier alignment hold plus state encode
+//     dominate the observation window — the checkpoint cadence, not the
+//     data path, bounds throughput.
+//
+// The function is pure over its inputs so the synthetic-topology tests
+// construct starved/backpressured/checkpoint-bound rings directly; the
+// DSMS facade assembles Input from the live graph at scrape time.
+package flight
+
+import "fmt"
+
+// Verdict is the causal classification of one operator's slowness.
+type Verdict string
+
+// The attribution verdicts, ordered from healthy to pathological.
+const (
+	VerdictOK              Verdict = "ok"
+	VerdictStarved         Verdict = "starved"
+	VerdictBackpressured   Verdict = "backpressured"
+	VerdictCheckpointBound Verdict = "checkpoint-bound"
+)
+
+// Attribution thresholds. Exported so the docs, the tests and any future
+// feedback controller (punctuation-driven load shedding) share one set
+// of constants.
+const (
+	// HoldFraction: an op is checkpoint-bound when alignment hold plus
+	// state encode occupy at least this fraction of the window.
+	HoldFraction = 0.25
+	// OccupancyFull: mean frame occupancy (relative to the configured
+	// frame size) at or above this counts as "frames arriving full".
+	OccupancyFull = 0.75
+	// DepthGrowth: buffer depth must at least double (plus DepthSlack)
+	// across the window to count as rising.
+	DepthGrowth = 2
+	// DepthSlack absorbs small-queue noise in the depth-rise test.
+	DepthSlack = 16
+	// StarveRatio: queue p99 must exceed service p99 by this factor to
+	// count as starved.
+	StarveRatio = 4
+)
+
+// OpStats is the per-operator metadata snapshot the caller provides:
+// the queue/service latency split from the monitor histograms, plus the
+// names of the nodes feeding this operator (buffers or upstream ops) —
+// flight events recorded on those nodes are read as this operator's
+// input signals.
+type OpStats struct {
+	Op         string   `json:"op"`
+	QueueP99NS int64    `json:"queue_p99_ns"`
+	SvcP99NS   int64    `json:"svc_p99_ns"`
+	Inputs     []string `json:"inputs,omitempty"`
+}
+
+// QuerySpec names one registered query and the operators on its path.
+type QuerySpec struct {
+	Name string   `json:"name"`
+	Ops  []string `json:"ops"`
+}
+
+// Input is everything Attribute consumes.
+type Input struct {
+	Events   []Event
+	Ops      []OpStats
+	Queries  []QuerySpec
+	FrameCap int // configured frame size (occupancy denominator); <=0 skips the occupancy test
+}
+
+// Diagnosis is one operator's verdict with its evidence.
+type Diagnosis struct {
+	Op         string  `json:"op"`
+	Verdict    Verdict `json:"verdict"`
+	Severity   float64 `json:"severity"`
+	Reason     string  `json:"reason"`
+	HoldFrac   float64 `json:"hold_frac"`
+	OccMean    float64 `json:"occ_mean"`
+	DepthFirst int64   `json:"depth_first"`
+	DepthLast  int64   `json:"depth_last"`
+	QueueP99NS int64   `json:"queue_p99_ns"`
+	SvcP99NS   int64   `json:"svc_p99_ns"`
+}
+
+// QueryDiagnosis blames the worst operator of one query.
+type QueryDiagnosis struct {
+	Query   string  `json:"query"`
+	Op      string  `json:"op,omitempty"`
+	Verdict Verdict `json:"verdict"`
+	Reason  string  `json:"reason"`
+}
+
+// Report is the /bottleneck.json document.
+type Report struct {
+	WindowNS int64            `json:"window_ns"`
+	Ops      []Diagnosis      `json:"ops"`
+	Queries  []QueryDiagnosis `json:"queries"`
+}
+
+// opSignals is the per-node evidence folded out of the event ring.
+type opSignals struct {
+	occSum, occN          int64
+	depthFirst, depthLast int64
+	haveDepth             bool
+	holdNS                int64
+}
+
+// Attribute runs the heuristics over one snapshot and returns the
+// per-operator diagnoses plus the per-query blame.
+func Attribute(in Input) Report {
+	var rep Report
+
+	// Fold the ring into per-node signals. Events arrive in Seq order,
+	// so first/last depth reads are the window's waterline trend.
+	sig := make(map[string]*opSignals)
+	at := func(op string) *opSignals {
+		s := sig[op]
+		if s == nil {
+			s = &opSignals{}
+			sig[op] = s
+		}
+		return s
+	}
+	var minW, maxW int64
+	for _, ev := range in.Events {
+		if ev.WallNS > 0 {
+			if minW == 0 || ev.WallNS < minW {
+				minW = ev.WallNS
+			}
+			if ev.WallNS > maxW {
+				maxW = ev.WallNS
+			}
+		}
+		s := at(ev.Op)
+		switch ev.Kind {
+		case KindFrame:
+			s.occSum += ev.A
+			s.occN++
+		case KindEnqueue, KindDrain:
+			if !s.haveDepth {
+				s.depthFirst = ev.B
+				s.haveDepth = true
+			}
+			s.depthLast = ev.B
+		case KindAlignHold, KindEncode:
+			s.holdNS += ev.B
+		}
+	}
+	if maxW > minW {
+		rep.WindowNS = maxW - minW
+	}
+
+	byOp := make(map[string]*Diagnosis, len(in.Ops))
+	for _, st := range in.Ops {
+		d := diagnose(st, sig, rep.WindowNS, in.FrameCap)
+		rep.Ops = append(rep.Ops, d)
+		byOp[st.Op] = &rep.Ops[len(rep.Ops)-1]
+	}
+
+	for _, q := range in.Queries {
+		qd := QueryDiagnosis{Query: q.Name, Verdict: VerdictOK, Reason: "no bottleneck detected"}
+		var worst float64
+		for _, op := range q.Ops {
+			d := byOp[op]
+			if d == nil || d.Verdict == VerdictOK || d.Severity <= worst {
+				continue
+			}
+			worst = d.Severity
+			qd.Op, qd.Verdict, qd.Reason = d.Op, d.Verdict, d.Reason
+		}
+		rep.Queries = append(rep.Queries, qd)
+	}
+	return rep
+}
+
+// diagnose classifies one operator. Precedence: checkpoint-bound (the
+// hold is a direct cause, not a symptom) > backpressured > starved.
+func diagnose(st OpStats, sig map[string]*opSignals, windowNS int64, frameCap int) Diagnosis {
+	d := Diagnosis{
+		Op:         st.Op,
+		Verdict:    VerdictOK,
+		Reason:     "healthy",
+		QueueP99NS: st.QueueP99NS,
+		SvcP99NS:   st.SvcP99NS,
+	}
+
+	// The operator's own barrier phases; its input nodes' depth and
+	// occupancy signals.
+	if s := sig[st.Op]; s != nil && windowNS > 0 {
+		d.HoldFrac = float64(s.holdNS) / float64(windowNS)
+	}
+	var occSum, occN int64
+	haveDepth := false
+	for _, in := range st.Inputs {
+		s := sig[in]
+		if s == nil {
+			continue
+		}
+		occSum += s.occSum
+		occN += s.occN
+		if s.haveDepth {
+			if !haveDepth {
+				d.DepthFirst = s.depthFirst
+				haveDepth = true
+			} else {
+				d.DepthFirst += s.depthFirst
+			}
+			d.DepthLast += s.depthLast
+		}
+	}
+	if occN > 0 {
+		d.OccMean = float64(occSum) / float64(occN)
+	}
+
+	depthRising := haveDepth && d.DepthLast > DepthGrowth*d.DepthFirst+DepthSlack
+	occFull := frameCap <= 0 || (occN > 0 && d.OccMean >= OccupancyFull*float64(frameCap))
+
+	switch {
+	case d.HoldFrac >= HoldFraction:
+		d.Verdict = VerdictCheckpointBound
+		d.Severity = d.HoldFrac
+		d.Reason = fmt.Sprintf("barrier hold+encode occupy %.0f%% of the window (%.1fms of %.1fms)",
+			d.HoldFrac*100, float64(windowNS)*d.HoldFrac/1e6, float64(windowNS)/1e6)
+	case depthRising && occFull && occN > 0:
+		growth := float64(d.DepthLast+1) / float64(d.DepthFirst+1)
+		d.Verdict = VerdictBackpressured
+		d.Severity = 1 - 1/growth
+		d.Reason = fmt.Sprintf("input buffer depth rising %d→%d with mean frame occupancy %.1f — consumer cannot keep up",
+			d.DepthFirst, d.DepthLast, d.OccMean)
+	case st.SvcP99NS > 0 && st.QueueP99NS >= StarveRatio*st.SvcP99NS && !depthRising:
+		ratio := float64(st.QueueP99NS) / float64(st.SvcP99NS)
+		d.Severity = ratio / (ratio + StarveRatio)
+		d.Verdict = VerdictStarved
+		d.Reason = fmt.Sprintf("queue p99 %.1fµs vs service p99 %.1fµs with stable input depth — waiting for work (upstream or scheduler)",
+			float64(st.QueueP99NS)/1e3, float64(st.SvcP99NS)/1e3)
+	}
+	return d
+}

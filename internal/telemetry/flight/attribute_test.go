@@ -1,0 +1,155 @@
+package flight_test
+
+import (
+	"testing"
+
+	"pipes/internal/telemetry/flight"
+)
+
+// The three synthetic topologies of the acceptance criteria: each seeds
+// exactly one pathology and Attribute must name the seeded operator with
+// the right verdict, per-op and per-query.
+
+// TestAttributeStarvedTopology: the filter's queue p99 dwarfs its service
+// p99 while its input buffer depth stays flat — the operator is waiting
+// for work, not drowning in it.
+func TestAttributeStarvedTopology(t *testing.T) {
+	in := flight.Input{
+		FrameCap: 64,
+		Events: []flight.Event{
+			{Seq: 1, WallNS: 1_000_000, Kind: flight.KindEnqueue, Op: "b.f", A: 1, B: 3},
+			{Seq: 2, WallNS: 1_500_000, Kind: flight.KindDrain, Op: "b.f", A: 1, B: 2},
+			{Seq: 3, WallNS: 2_000_000, Kind: flight.KindEnqueue, Op: "b.f", A: 1, B: 3},
+			{Seq: 4, WallNS: 2_500_000, Kind: flight.KindDrain, Op: "b.f", A: 1, B: 2},
+		},
+		Ops: []flight.OpStats{
+			{Op: "src", QueueP99NS: 1_000, SvcP99NS: 1_000},
+			{Op: "f", QueueP99NS: 400_000, SvcP99NS: 50_000, Inputs: []string{"b.f"}},
+		},
+		Queries: []flight.QuerySpec{{Name: "q0", Ops: []string{"src", "f"}}},
+	}
+	rep := flight.Attribute(in)
+	d := findOp(t, rep, "f")
+	if d.Verdict != flight.VerdictStarved {
+		t.Fatalf("f diagnosed %q (%s), want starved", d.Verdict, d.Reason)
+	}
+	if findOp(t, rep, "src").Verdict != flight.VerdictOK {
+		t.Fatal("healthy src was blamed")
+	}
+	if q := rep.Queries[0]; q.Op != "f" || q.Verdict != flight.VerdictStarved {
+		t.Fatalf("query blamed %q as %q, want f as starved", q.Op, q.Verdict)
+	}
+}
+
+// TestAttributeBackpressuredTopology: frames arrive at full occupancy and
+// the join's input buffer depth keeps climbing — the consumer cannot keep
+// up with its producer.
+func TestAttributeBackpressuredTopology(t *testing.T) {
+	events := []flight.Event{
+		{Seq: 1, WallNS: 1_000_000, Kind: flight.KindEnqueue, Op: "b.j", A: 64, B: 4},
+	}
+	for i := 0; i < 8; i++ {
+		events = append(events,
+			flight.Event{Seq: uint64(2 + 2*i), WallNS: int64(1_100_000 + 100_000*i), Kind: flight.KindFrame, Op: "b.j", A: 64},
+			flight.Event{Seq: uint64(3 + 2*i), WallNS: int64(1_150_000 + 100_000*i), Kind: flight.KindEnqueue, Op: "b.j", A: 64, B: int64(64 + 64*i)},
+		)
+	}
+	in := flight.Input{
+		FrameCap: 64,
+		Events:   events,
+		Ops: []flight.OpStats{
+			{Op: "src", QueueP99NS: 1_000, SvcP99NS: 1_000},
+			{Op: "j", QueueP99NS: 20_000, SvcP99NS: 90_000, Inputs: []string{"b.j"}},
+		},
+		Queries: []flight.QuerySpec{{Name: "q0", Ops: []string{"src", "j"}}},
+	}
+	rep := flight.Attribute(in)
+	d := findOp(t, rep, "j")
+	if d.Verdict != flight.VerdictBackpressured {
+		t.Fatalf("j diagnosed %q (%s), want backpressured", d.Verdict, d.Reason)
+	}
+	if d.DepthFirst != 4 || d.DepthLast != 64+64*7 {
+		t.Fatalf("depth waterline %d→%d, want 4→%d", d.DepthFirst, d.DepthLast, 64+64*7)
+	}
+	if q := rep.Queries[0]; q.Op != "j" || q.Verdict != flight.VerdictBackpressured {
+		t.Fatalf("query blamed %q as %q, want j as backpressured", q.Op, q.Verdict)
+	}
+}
+
+// TestAttributeCheckpointBoundTopology: barrier alignment hold plus state
+// encode occupy well over HoldFraction of the window — the checkpoint
+// cadence, not the data path, bounds the group-by.
+func TestAttributeCheckpointBoundTopology(t *testing.T) {
+	in := flight.Input{
+		FrameCap: 64,
+		Events: []flight.Event{
+			{Seq: 1, WallNS: 1_000_000, Kind: flight.KindFrame, Op: "b.g", A: 10},
+			{Seq: 2, WallNS: 1_400_000, Kind: flight.KindAlignHold, Op: "g", A: 1, B: 300_000},
+			{Seq: 3, WallNS: 1_500_000, Kind: flight.KindEncode, Op: "g", A: 1, B: 100_000, C: 4096},
+			{Seq: 4, WallNS: 2_000_000, Kind: flight.KindFrame, Op: "b.g", A: 10},
+		},
+		Ops: []flight.OpStats{
+			{Op: "src", QueueP99NS: 1_000, SvcP99NS: 1_000},
+			{Op: "g", QueueP99NS: 30_000, SvcP99NS: 40_000, Inputs: []string{"b.g"}},
+		},
+		Queries: []flight.QuerySpec{{Name: "q0", Ops: []string{"src", "g"}}},
+	}
+	rep := flight.Attribute(in)
+	if rep.WindowNS != 1_000_000 {
+		t.Fatalf("window = %dns, want 1ms", rep.WindowNS)
+	}
+	d := findOp(t, rep, "g")
+	if d.Verdict != flight.VerdictCheckpointBound {
+		t.Fatalf("g diagnosed %q (%s), want checkpoint-bound", d.Verdict, d.Reason)
+	}
+	if d.HoldFrac < 0.39 || d.HoldFrac > 0.41 {
+		t.Fatalf("hold fraction = %.3f, want 0.4", d.HoldFrac)
+	}
+	if q := rep.Queries[0]; q.Op != "g" || q.Verdict != flight.VerdictCheckpointBound {
+		t.Fatalf("query blamed %q as %q, want g as checkpoint-bound", q.Op, q.Verdict)
+	}
+}
+
+// TestAttributePrecedenceCheckpointOverBackpressure: an operator showing
+// both a dominant barrier hold and a rising input queue is reported as
+// checkpoint-bound — the hold is the cause, the queue the symptom.
+func TestAttributePrecedenceCheckpointOverBackpressure(t *testing.T) {
+	in := flight.Input{
+		FrameCap: 64,
+		Events: []flight.Event{
+			{Seq: 1, WallNS: 1_000_000, Kind: flight.KindEnqueue, Op: "b.g", A: 64, B: 4},
+			{Seq: 2, WallNS: 1_200_000, Kind: flight.KindFrame, Op: "b.g", A: 64},
+			{Seq: 3, WallNS: 1_600_000, Kind: flight.KindAlignHold, Op: "g", A: 1, B: 500_000},
+			{Seq: 4, WallNS: 2_000_000, Kind: flight.KindEnqueue, Op: "b.g", A: 64, B: 512},
+		},
+		Ops:     []flight.OpStats{{Op: "g", QueueP99NS: 10_000, SvcP99NS: 10_000, Inputs: []string{"b.g"}}},
+		Queries: []flight.QuerySpec{{Name: "q0", Ops: []string{"g"}}},
+	}
+	d := findOp(t, flight.Attribute(in), "g")
+	if d.Verdict != flight.VerdictCheckpointBound {
+		t.Fatalf("diagnosed %q, want checkpoint-bound to take precedence", d.Verdict)
+	}
+}
+
+// TestAttributeEmptyInput: no events, no ops — an empty report, not a
+// panic, and a query with nothing to blame stays ok.
+func TestAttributeEmptyInput(t *testing.T) {
+	rep := flight.Attribute(flight.Input{Queries: []flight.QuerySpec{{Name: "q0", Ops: []string{"f"}}}})
+	if rep.WindowNS != 0 || len(rep.Ops) != 0 {
+		t.Fatalf("empty input produced %+v", rep)
+	}
+	if q := rep.Queries[0]; q.Verdict != flight.VerdictOK {
+		t.Fatalf("query verdict %q, want ok", q.Verdict)
+	}
+}
+
+func findOp(t *testing.T, rep flight.Report, op string) flight.Diagnosis {
+	t.Helper()
+	for _, d := range rep.Ops {
+		if d.Op == op {
+			return d
+		}
+	}
+	t.Fatalf("no diagnosis for %q in %+v", op, rep.Ops)
+	return flight.Diagnosis{}
+}

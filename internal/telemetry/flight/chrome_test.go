@@ -1,0 +1,117 @@
+package flight_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pipes/internal/telemetry/flight"
+)
+
+// buildGoldenRing records a small deterministic scenario under a fake
+// clock: a source publishing frames and buffer traffic, a join aligning a
+// barrier, and the checkpoint round completing on the store track.
+func buildGoldenRing() *flight.Recorder {
+	rec := flight.New(256)
+	clk := &fakeClock{ns: 1_000_000}
+	rec.SetClock(clk)
+	src := rec.Ref("src")
+	join := rec.Ref("join")
+	store := rec.Ref("checkpoint.store")
+
+	rec.Record(src, flight.KindFrame, 48, 0, 0)
+	clk.ns += 50_000
+	rec.Record(src, flight.KindEnqueue, 64, 128, 0)
+	clk.ns += 50_000
+	rec.Record(src, flight.KindDrain, 64, 64, 0)
+	clk.ns += 100_000
+	join.Phase(flight.KindAlignHold, 3, 80_000, 2)
+	join.Phase(flight.KindGateReplay, 3, 2, 0)
+	clk.ns += 100_000
+	join.Phase(flight.KindEncode, 3, 40_000, 512)
+	clk.ns += 100_000
+	store.Phase(flight.KindStoreWrite, 3, 60_000, 2048)
+	store.Phase(flight.KindRoundDone, 3, 400_000, 2048)
+	return rec
+}
+
+// chromeGolden is the exact /flight.json document for the golden ring;
+// on a deliberate format change, copy the "got" from the failure output.
+const chromeGolden = `{"displayTimeUnit":"ns","traceEvents":[{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"checkpoint rounds"}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"src"}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"join"}},{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":3,"args":{"name":"checkpoint.store"}},{"name":"frame(48)","ph":"i","ts":1000,"pid":1,"tid":1,"cat":"pipes-flight","s":"t","args":{"occupancy":48,"op":"src","seq":1}},{"name":"enqueue(+64)","ph":"i","ts":1050,"pid":1,"tid":1,"cat":"pipes-flight","s":"t","args":{"depth":128,"op":"src","seq":2}},{"name":"drain(-64)","ph":"i","ts":1100,"pid":1,"tid":1,"cat":"pipes-flight","s":"t","args":{"depth":64,"op":"src","seq":3}},{"name":"align_hold#3","ph":"X","ts":1120,"dur":80,"pid":1,"tid":2,"cat":"pipes-flight","args":{"op":"join","round":3,"seq":4}},{"name":"replay#3(2)","ph":"i","ts":1200,"pid":1,"tid":2,"cat":"pipes-flight","s":"t","args":{"op":"join","replayed":2,"round":3,"seq":5}},{"name":"encode#3","ph":"X","ts":1260,"dur":40,"pid":1,"tid":2,"cat":"pipes-flight","args":{"bytes":512,"op":"join","round":3,"seq":6}},{"name":"store_write#3","ph":"X","ts":1340,"dur":60,"pid":1,"tid":0,"cat":"pipes-flight","args":{"bytes":2048,"op":"checkpoint.store","round":3,"seq":7}},{"name":"round_done#3","ph":"X","ts":1000,"dur":400,"pid":1,"tid":0,"cat":"pipes-flight","args":{"op":"checkpoint.store","round":3,"seq":8}}]}
+`
+
+// TestWriteChromeTraceGolden pins the /flight.json document byte-for-byte
+// under a fake clock: per-operator tracks named by thread_name metadata,
+// point events as thread-scoped instants, duration-bearing barrier phases
+// as complete slices, and store/round events forced onto the barrier
+// track (tid 0).
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRing().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != chromeGolden {
+		t.Errorf("golden mismatch\n got: %s\nwant: %s", got, chromeGolden)
+	}
+}
+
+// TestChromeTraceLoadsAsTraceEventJSON decodes the export the way a
+// trace viewer does and checks the structural invariants Perfetto needs:
+// a traceEvents array, one thread_name metadata record per track, every
+// event carrying pid/tid/ph, and instants scoped "t".
+func TestChromeTraceLoadsAsTraceEventJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRing().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   *int           `json:"pid"`
+			TID   *uint64        `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	tracks := map[uint64]string{}
+	var instants, slices int
+	for _, ev := range doc.TraceEvents {
+		if ev.PID == nil || ev.TID == nil || ev.Phase == "" {
+			t.Fatalf("event %q missing pid/tid/ph", ev.Name)
+		}
+		switch ev.Phase {
+		case "M":
+			tracks[*ev.TID] = ev.Args["name"].(string)
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope = %q, want thread scope", ev.Name, ev.Scope)
+			}
+		case "X":
+			slices++
+		default:
+			t.Errorf("unexpected phase %q on %q", ev.Phase, ev.Name)
+		}
+	}
+	if tracks[0] != "checkpoint rounds" {
+		t.Errorf("barrier track (tid 0) named %q", tracks[0])
+	}
+	for _, name := range []string{"src", "join", "checkpoint.store"} {
+		found := false
+		for _, n := range tracks {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no track named %q", name)
+		}
+	}
+	if instants != 4 || slices != 4 {
+		t.Errorf("got %d instants and %d slices, want 4 and 4", instants, slices)
+	}
+}

@@ -1,0 +1,405 @@
+// Package flight is the always-on flight recorder of the PIPES runtime: a
+// fixed-size, lock-free ring of *system* events — frame transfers with
+// occupancy, buffer enqueue/drain depth waterlines, checkpoint barrier
+// phases (alignment hold, state encode, store write), gate replays,
+// memory sheds and scheduler steals. Where the element tracer
+// (internal/telemetry.Tracer) follows sampled *data* through the graph,
+// the flight recorder watches the machinery move underneath it, with the
+// same ~zero-cost discipline as the metadata layer's 1-in-16 maintenance
+// stride: hot-path call sites pay one atomic pointer load when detached,
+// and an attached OpRef amortises its clock reads and ring writes behind
+// a per-op stride counter.
+//
+// The ring is written with a seqlock-per-slot scheme over all-atomic
+// fields, so writers never block each other or the readers, and the race
+// detector sees only atomic operations. Readers (the /flight.json export)
+// take a best-effort snapshot: a slot overwritten mid-read is skipped,
+// which on a ring of thousands of slots loses at most the events racing
+// the scrape.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipes/internal/telemetry"
+)
+
+// Kind classifies one recorded system event.
+type Kind uint8
+
+// Event kinds. The A/B/C payload fields are kind-specific; see the
+// comments and OBSERVABILITY.md's inventory table.
+const (
+	// KindFrame: one frame published on the batch lane.
+	// A = frame occupancy (elements). Strided 1-in-16 per op.
+	KindFrame Kind = iota + 1
+	// KindEnqueue: work accepted by a pubsub.Buffer.
+	// A = units enqueued, B = buffered depth after. Strided 1-in-16.
+	KindEnqueue
+	// KindDrain: one scheduler drain of a pubsub.Buffer.
+	// A = units drained, B = buffered depth after.
+	KindDrain
+	// KindAlignHold: a multi-input operator finished aligning a barrier.
+	// A = round ID, B = hold duration ns (first blocked input to release).
+	KindAlignHold
+	// KindEncode: one operator's state serialised for a checkpoint round.
+	// A = round ID, B = encode duration ns, C = encoded bytes.
+	KindEncode
+	// KindStoreWrite: a checkpoint round written to the store.
+	// A = round ID, B = write duration ns, C = total snapshot bytes.
+	KindStoreWrite
+	// KindRoundDone: a checkpoint round fully acked and durable.
+	// A = round ID, B = end-to-end round duration ns.
+	KindRoundDone
+	// KindGateReplay: elements parked during alignment were replayed.
+	// A = round ID, B = replayed element count.
+	KindGateReplay
+	// KindShed: the memory manager shed state from an operator.
+	// A = bytes freed, B = usage before shedding, C = assigned limit.
+	KindShed
+	// KindSteal: a scheduler worker stole a task activation.
+	// A = thief worker, B = victim worker.
+	KindSteal
+)
+
+// String renders the kind for exports and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindFrame:
+		return "frame"
+	case KindEnqueue:
+		return "enqueue"
+	case KindDrain:
+		return "drain"
+	case KindAlignHold:
+		return "align_hold"
+	case KindEncode:
+		return "encode"
+	case KindStoreWrite:
+		return "store_write"
+	case KindRoundDone:
+		return "round_done"
+	case KindGateReplay:
+		return "gate_replay"
+	case KindShed:
+		return "shed"
+	case KindSteal:
+		return "steal"
+	}
+	return "unknown"
+}
+
+// Event is one decoded ring entry.
+type Event struct {
+	Seq    uint64 // global record order (1-based, monotone)
+	WallNS int64  // wall-clock stamp at record time
+	Kind   Kind
+	Op     string // interned operator / component name
+	A      int64  // kind-specific payloads — see the Kind constants
+	B      int64
+	C      int64
+}
+
+// Clock is the injectable time source, declared structurally (like
+// pubsub.Clock) so metadata.SystemClock / metadata.FakeClock satisfy it
+// implicitly and no import cycle forms. All flight timestamps flow
+// through it — the golden tests pin it to a fake.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the default Clock: the real time.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// slot is one ring entry. Every field is atomic so concurrent writers and
+// readers stay race-free without a lock: a writer invalidates seq, stores
+// the payload, then publishes seq; a reader re-checks seq around its
+// field copies and discards torn slots.
+type slot struct {
+	seq  atomic.Uint64 // 0 = empty/being written, else the event's Seq
+	wall atomic.Int64
+	meta atomic.Uint64 // kind<<32 | op index
+	a    atomic.Int64
+	b    atomic.Int64
+	c    atomic.Int64
+}
+
+// DefaultRingSize is the event capacity used when the config leaves
+// FlightEvents zero.
+const DefaultRingSize = 4096
+
+// minRingSize keeps degenerate configs usable.
+const minRingSize = 256
+
+// Recorder is the flight ring plus the operator intern table and the
+// always-on aggregate surfaces (per-edge counters/histograms, checkpoint
+// phase histograms) the scrape endpoint exports.
+type Recorder struct {
+	cursor atomic.Uint64
+	mask   uint64
+	slots  []slot
+
+	clock atomic.Pointer[Clock]
+
+	mu   sync.Mutex
+	refs map[string]*OpRef
+	byID []*OpRef
+
+	// Checkpoint round phase histograms (ns), fed by Record so the ft
+	// instrumentation sites stay one-liners. Exported as
+	// pipes_checkpoint_round_phase_ns{phase=...}.
+	alignHist  *telemetry.Histogram
+	encodeHist *telemetry.Histogram
+	writeHist  *telemetry.Histogram
+}
+
+// New returns a recorder whose ring holds at least size events (rounded
+// up to a power of two; size <= 0 selects DefaultRingSize).
+func New(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	if size < minRingSize {
+		size = minRingSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{
+		mask:       uint64(n - 1),
+		slots:      make([]slot, n),
+		refs:       make(map[string]*OpRef),
+		alignHist:  telemetry.NewHistogram(),
+		encodeHist: telemetry.NewHistogram(),
+		writeHist:  telemetry.NewHistogram(),
+	}
+}
+
+// SetClock injects the time source (nil restores the system clock).
+func (r *Recorder) SetClock(c Clock) {
+	if c == nil {
+		r.clock.Store(nil)
+		return
+	}
+	r.clock.Store(&c)
+}
+
+// NowNS reads the recorder's clock. Instrumentation sites that need a
+// start stamp (barrier hold timing) use this so fake clocks govern every
+// flight timestamp.
+func (r *Recorder) NowNS() int64 {
+	if c := r.clock.Load(); c != nil {
+		return (*c).Now().UnixNano()
+	}
+	return systemClock{}.Now().UnixNano()
+}
+
+// PhaseHistograms returns the checkpoint round phase histograms
+// (alignment hold, state encode, store write), for registry export.
+func (r *Recorder) PhaseHistograms() (align, encode, write *telemetry.Histogram) {
+	return r.alignHist, r.encodeHist, r.writeHist
+}
+
+// Ref interns name and returns its operator handle. Idempotent; the
+// handle is valid for the recorder's lifetime. Call at wiring time, not
+// on the hot path.
+func (r *Recorder) Ref(name string) *OpRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ref, ok := r.refs[name]; ok {
+		return ref
+	}
+	ref := &OpRef{
+		rec:   r,
+		idx:   uint32(len(r.byID)),
+		name:  name,
+		occ:   telemetry.NewHistogram(),
+		depth: telemetry.NewHistogram(),
+	}
+	r.refs[name] = ref
+	r.byID = append(r.byID, ref)
+	return ref
+}
+
+// Refs snapshots the interned operator handles in intern order.
+func (r *Recorder) Refs() []*OpRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*OpRef, len(r.byID))
+	copy(out, r.byID)
+	return out
+}
+
+// opName resolves an intern index (empty string when unknown — a torn
+// slot decoded against a stale table).
+func (r *Recorder) opName(idx uint32) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(idx) < len(r.byID) {
+		return r.byID[idx].name
+	}
+	return ""
+}
+
+// Record appends one event to the ring, stamping it with the recorder's
+// clock, and feeds the checkpoint phase histograms for barrier-phase
+// kinds. Already-strided call sites (OpRef hot paths) and rare events
+// (barrier phases, sheds, steals) call it directly.
+func (r *Recorder) Record(op *OpRef, k Kind, a, b, c int64) {
+	r.record(op, k, r.NowNS(), a, b, c)
+}
+
+func (r *Recorder) record(op *OpRef, k Kind, wall, a, b, c int64) {
+	switch k {
+	case KindAlignHold:
+		r.alignHist.Observe(b)
+	case KindEncode:
+		r.encodeHist.Observe(b)
+	case KindStoreWrite:
+		r.writeHist.Observe(b)
+	}
+	var idx uint32
+	if op != nil {
+		idx = op.idx
+	}
+	seq := r.cursor.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0) // invalidate: readers racing this write discard the slot
+	s.wall.Store(wall)
+	s.meta.Store(uint64(k)<<32 | uint64(idx))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.seq.Store(seq) // publish
+}
+
+// Events decodes the ring into record order. Best-effort under load:
+// slots being overwritten during the scan are skipped.
+func (r *Recorder) Events() []Event {
+	events := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		for attempt := 0; attempt < 2; attempt++ {
+			seq := s.seq.Load()
+			if seq == 0 {
+				break
+			}
+			ev := Event{
+				Seq:    seq,
+				WallNS: s.wall.Load(),
+				A:      s.a.Load(),
+				B:      s.b.Load(),
+				C:      s.c.Load(),
+			}
+			meta := s.meta.Load()
+			if s.seq.Load() != seq {
+				continue // torn: a writer landed mid-copy, retry once
+			}
+			ev.Kind = Kind(meta >> 32)
+			ev.Op = r.opName(uint32(meta))
+			events = append(events, ev)
+			break
+		}
+	}
+	sortEvents(events)
+	return events
+}
+
+// sortEvents orders by Seq (insertion sort is fine: the slice arrives
+// nearly sorted — ring order is seq order modulo one wrap point).
+func sortEvents(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].Seq > evs[j].Seq; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+}
+
+// strideEvery is the hot-path sampling stride: high-frequency events
+// (frames, enqueues) hit the ring and the clock once per strideEvery
+// occurrences per op, mirroring metadata's maintenance stride.
+const strideEvery = 16
+
+// OpRef is one interned operator's recording handle: always-on aggregate
+// counters and histograms (the pipes_edge_* scrape families) plus the
+// strided ring taps. Attach it once at wiring time (atomic pointer on the
+// node); hot paths then record through it without locks, allocation or —
+// off-stride — clock reads.
+type OpRef struct {
+	rec  *Recorder
+	idx  uint32
+	name string
+
+	stride atomic.Uint64
+
+	frames atomic.Int64
+	elems  atomic.Int64
+	occ    *telemetry.Histogram // frame occupancy, in elements
+	depth  *telemetry.Histogram // buffer depth waterline, in work units
+}
+
+// Name returns the interned operator name.
+func (o *OpRef) Name() string { return o.name }
+
+// NowNS reads the owning recorder's clock (for hold-start stamps).
+func (o *OpRef) NowNS() int64 { return o.rec.NowNS() }
+
+// Frames returns the total frames published through this op.
+func (o *OpRef) Frames() int64 { return o.frames.Load() }
+
+// Elements returns the total elements published through this op.
+func (o *OpRef) Elements() int64 { return o.elems.Load() }
+
+// OccupancyHistogram returns the frame-occupancy histogram (elements per
+// frame).
+func (o *OpRef) OccupancyHistogram() *telemetry.Histogram { return o.occ }
+
+// DepthHistogram returns the buffer-depth waterline histogram (work units
+// observed at enqueue/drain).
+func (o *OpRef) DepthHistogram() *telemetry.Histogram { return o.depth }
+
+// Frame records one published frame of n elements: throughput counters
+// always (two atomic adds, amortised across the frame), the occupancy
+// histogram and a ring event 1-in-strideEvery frames — occupancy is a
+// sampled waterline like buffer depth, so counters stay the exact
+// surface.
+func (o *OpRef) Frame(n int) {
+	o.frames.Add(1)
+	o.elems.Add(int64(n))
+	if o.stride.Add(1)%strideEvery != 0 {
+		return
+	}
+	o.occ.Observe(int64(n))
+	o.rec.Record(o, KindFrame, int64(n), 0, 0)
+}
+
+// Enqueue records n work units entering a buffer whose depth is now d.
+// Called per element on the scalar lane, so everything — histogram, clock
+// and ring — hides behind the stride; the off-stride cost is one atomic
+// add.
+func (o *OpRef) Enqueue(n, d int) {
+	if o.stride.Add(1)%strideEvery != 0 {
+		return
+	}
+	o.depth.Observe(int64(d))
+	o.rec.Record(o, KindEnqueue, int64(n), int64(d), 0)
+}
+
+// Drained records one scheduler drain of n work units leaving a buffer
+// whose depth is now d. Drains are already batched (one call per
+// activation), so the event is unconditional.
+func (o *OpRef) Drained(n, d int) {
+	o.depth.Observe(int64(d))
+	o.rec.Record(o, KindDrain, int64(n), int64(d), 0)
+}
+
+// Phase records one rare, unconditional event (barrier phases, replays,
+// sheds, steals) attributed to this op.
+func (o *OpRef) Phase(k Kind, a, b, c int64) {
+	o.rec.Record(o, k, a, b, c)
+}

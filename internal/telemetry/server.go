@@ -16,15 +16,18 @@ import (
 //	/debug/pprof/...    the standard Go profiling handlers
 //	/healthz            200 ok
 //
-// Start it with Serve; it runs until Close.
+// Embedders add further documents (the DSMS facade registers
+// /flight.json and /bottleneck.json) via Handle. Start it with Serve; it
+// runs until Close.
 type Server struct {
 	reg      *Registry
 	tracer   *Tracer
 	topology func() any
 
-	mu sync.Mutex
-	ln net.Listener
-	hs *http.Server
+	mu    sync.Mutex
+	ln    net.Listener
+	hs    *http.Server
+	extra map[string]http.HandlerFunc
 }
 
 // NewServer assembles a server over the given registry, topology snapshot
@@ -33,10 +36,28 @@ func NewServer(reg *Registry, topology func() any, tracer *Tracer) *Server {
 	return &Server{reg: reg, tracer: tracer, topology: topology}
 }
 
+// Handle registers an additional endpoint (e.g. /flight.json,
+// /bottleneck.json — the facade owns those documents). Register before
+// Serve/Handler; later registrations only affect handlers built
+// afterwards.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extra == nil {
+		s.extra = map[string]http.HandlerFunc{}
+	}
+	s.extra[pattern] = h
+}
+
 // Handler returns the endpoint's routing table, usable directly with
 // httptest or an existing server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.mu.Lock()
+	for pattern, h := range s.extra {
+		mux.HandleFunc(pattern, h)
+	}
+	s.mu.Unlock()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)

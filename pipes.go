@@ -33,6 +33,7 @@ import (
 	"pipes/internal/pubsub"
 	"pipes/internal/sched"
 	"pipes/internal/telemetry"
+	"pipes/internal/telemetry/flight"
 	"pipes/internal/temporal"
 )
 
@@ -135,6 +136,15 @@ type Config struct {
 	// dir with interval 0 enables on-demand checkpoints only
 	// (Checkpoints.Trigger).
 	CheckpointDir string
+	// FlightEvents sizes the flight recorder's system-event ring (0 =
+	// default 4096 events, rounded up to a power of two). The recorder is
+	// always on — see internal/telemetry/flight and OBSERVABILITY.md —
+	// and feeds /flight.json, /bottleneck.json and the pipes_edge_* /
+	// pipes_checkpoint_round_* scrape families.
+	FlightEvents int
+	// DisableFlight turns the flight recorder off entirely: no ring, no
+	// per-edge aggregates, empty /flight.json and /bottleneck.json.
+	DisableFlight bool
 }
 
 // DSMS is a prototype data stream management system assembled from the
@@ -153,9 +163,12 @@ type DSMS struct {
 	Graph     *pubsub.Graph
 
 	// Telemetry components (see telemetry.go): the metric registry is
-	// always populated; Tracer is nil unless tracing is enabled.
+	// always populated; Tracer is nil unless tracing is enabled; Flight
+	// is the always-on system-event recorder (nil only with
+	// Config.DisableFlight).
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
+	Flight   *flight.Recorder
 
 	// Checkpoints coordinates the fault-tolerance subsystem (nil unless
 	// Config enables checkpointing; see checkpoint.go).
@@ -209,6 +222,11 @@ func NewDSMS(cfg Config) *DSMS {
 	if cfg.TraceEvery > 0 {
 		d.Tracer = telemetry.NewTracer(cfg.TraceEvery, 0)
 	}
+	if !cfg.DisableFlight {
+		d.Flight = flight.New(cfg.FlightEvents)
+		d.Scheduler.SetFlightRecorder(d.Flight)
+		d.Memory.SetFlightRecorder(d.Flight)
+	}
 	if cfg.MonitorQueries {
 		// Decorate every operator the optimizer builds so metadata is
 		// collected inline on both the input and output side (Fig. 3).
@@ -226,6 +244,9 @@ func NewDSMS(cfg Config) *DSMS {
 	}
 	if err := d.initCheckpoints(); err != nil {
 		panic(err.Error())
+	}
+	if d.Checkpoints != nil && d.Flight != nil {
+		d.Checkpoints.SetFlightRecorder(d.Flight)
 	}
 	d.registerExports()
 	return d
@@ -247,6 +268,7 @@ func (d *DSMS) RegisterStream(name string, src pubsub.Source, rate float64) {
 	if e, ok := src.(pubsub.Emitter); ok {
 		d.Scheduler.Add(sched.NewEmitterTask(e))
 	}
+	d.attachFlight()
 }
 
 // RegisterQuery parses, optimises and instantiates a CQL query against
@@ -282,6 +304,7 @@ func (d *DSMS) RegisterQuery(text string) (*Query, error) {
 		}
 		d.registerCheckpointed(p)
 	}
+	d.attachFlight()
 	return q, nil
 }
 
@@ -322,6 +345,7 @@ func (d *DSMS) RegisterPlan(plan optimizer.Plan) (*Query, error) {
 	for _, p := range inst.Created {
 		d.registerCheckpointed(p)
 	}
+	d.attachFlight()
 	return q, nil
 }
 
@@ -360,6 +384,7 @@ func (d *DSMS) Start() {
 	d.mu.Lock()
 	d.started = true
 	d.mu.Unlock()
+	d.attachFlight()
 	if err := d.startTelemetry(); err != nil {
 		panic(fmt.Sprintf("pipes: telemetry endpoint: %v", err))
 	}

@@ -1,12 +1,15 @@
 package pipes
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
 
+	"pipes/internal/metadata"
 	"pipes/internal/pubsub"
 	"pipes/internal/telemetry"
+	"pipes/internal/telemetry/flight"
 )
 
 // This file wires the DSMS runtime components into the live telemetry
@@ -130,6 +133,119 @@ func (d *DSMS) registerExports() {
 			c.Gauge("pipes_trace_every", nil, float64(d.Tracer.Every()))
 		}
 	})
+	// Flight recorder: per-edge transfer aggregates and checkpoint-round
+	// phase durations (OBSERVABILITY.md, "Flight recorder").
+	if d.Flight != nil {
+		d.Registry.RegisterCollector(func(c *telemetry.Collect) {
+			for _, ref := range d.Flight.Refs() {
+				lb := telemetry.Labels{"op": ref.Name()}
+				c.Counter("pipes_edge_frames_total", lb, ref.Frames())
+				c.Counter("pipes_edge_elements_total", lb, ref.Elements())
+				if h := ref.OccupancyHistogram(); h.Count() > 0 {
+					c.Histogram("pipes_edge_frame_occupancy", lb, h)
+				}
+				if h := ref.DepthHistogram(); h.Count() > 0 {
+					c.Histogram("pipes_edge_queue_depth", lb, h)
+				}
+			}
+			align, encode, write := d.Flight.PhaseHistograms()
+			for phase, h := range map[string]*telemetry.Histogram{
+				"align": align, "encode": encode, "write": write,
+			} {
+				if h.Count() > 0 {
+					c.Histogram("pipes_checkpoint_round_phase_ns", telemetry.Labels{"phase": phase}, h)
+				}
+			}
+		})
+	}
+}
+
+// flightNodeName keys a graph node for the flight recorder. Metadata
+// decorators report under their inner operator's name so flight tracks,
+// pipes_metadata rows and pipesmon rows all line up.
+func flightNodeName(n pubsub.Node) string {
+	if m, ok := n.(*metadata.Monitored); ok {
+		return m.Inner().Name()
+	}
+	return n.Name()
+}
+
+// flightInstrumented is the capability contract pubsub.SourceBase
+// implements: an interned per-operator flight handle.
+type flightInstrumented interface {
+	SetFlightRef(*flight.OpRef)
+	FlightRef() *flight.OpRef
+}
+
+// attachFlight hands every source node of the live graph its flight
+// handle. Idempotent (already-attached nodes are skipped) and called from
+// every registration path plus Start, so nodes added late still record.
+// It takes no DSMS lock — Graph and the recorder synchronise themselves —
+// and is therefore safe to call while d.mu is held.
+func (d *DSMS) attachFlight() {
+	if d.Flight == nil {
+		return
+	}
+	for _, n := range d.Graph.Nodes() {
+		fi, ok := n.(flightInstrumented)
+		if !ok || fi.FlightRef() != nil {
+			continue
+		}
+		fi.SetFlightRef(d.Flight.Ref(flightNodeName(n)))
+	}
+}
+
+// Bottleneck snapshots the flight ring and the monitored operators and
+// attributes the current bottleneck per operator and per query (served at
+// /bottleneck.json, rendered by pipesmon -attach as the "why slow"
+// column). With the recorder disabled it returns an empty report.
+func (d *DSMS) Bottleneck() flight.Report {
+	if d.Flight == nil {
+		return flight.Report{}
+	}
+	frameCap := d.cfg.BatchSize
+	if frameCap <= 0 {
+		frameCap = 64
+	}
+	// Upstream adjacency over flight names: an operator's input signals
+	// (queue depth, frame occupancy) live on the nodes feeding it.
+	up := map[string][]string{}
+	for _, e := range d.Graph.Edges() {
+		to := flightNodeName(e.To)
+		up[to] = append(up[to], flightNodeName(e.From))
+	}
+	in := flight.Input{
+		Events:   d.Flight.Events(),
+		FrameCap: frameCap,
+	}
+	for _, m := range d.Monitors() {
+		op := m.Inner().Name()
+		in.Ops = append(in.Ops, flight.OpStats{
+			Op:         op,
+			QueueP99NS: m.QueueTimeHistogram().Quantile(0.99),
+			SvcP99NS:   m.ServiceTimeHistogram().Quantile(0.99),
+			Inputs:     up[op],
+		})
+	}
+	for _, q := range d.Queries() {
+		spec := flight.QuerySpec{Name: q.Text}
+		// Every operator reachable upstream of the query root belongs to
+		// the query's blame set.
+		seen := map[string]bool{}
+		frontier := []string{flightNodeName(q.Instance.Root)}
+		for len(frontier) > 0 {
+			name := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			spec.Ops = append(spec.Ops, name)
+			frontier = append(frontier, up[name]...)
+		}
+		in.Queries = append(in.Queries, spec)
+	}
+	return flight.Attribute(in)
 }
 
 // instrumentSource taps a registered root source's dispatch path: each
@@ -151,6 +267,27 @@ func (d *DSMS) instrumentSource(name string, src pubsub.Source) {
 	})
 }
 
+// newTelemetryServer assembles the scrape endpoint with the facade's
+// extra documents: the flight-recorder timeline at /flight.json (Chrome
+// trace_event JSON, one track per operator plus the checkpoint-round
+// track) and the bottleneck attribution report at /bottleneck.json.
+func (d *DSMS) newTelemetryServer() *telemetry.Server {
+	srv := telemetry.NewServer(d.Registry, func() any { return d.Topology() }, d.Tracer)
+	srv.Handle("/flight.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if d.Flight == nil {
+			_, _ = w.Write([]byte(`{"traceEvents":[]}`))
+			return
+		}
+		_ = d.Flight.WriteChromeTrace(w)
+	})
+	srv.Handle("/bottleneck.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Bottleneck())
+	})
+	return srv
+}
+
 // startTelemetry binds Config.TelemetryAddr and serves the endpoint; a
 // no-op when telemetry is off.
 func (d *DSMS) startTelemetry() error {
@@ -162,7 +299,7 @@ func (d *DSMS) startTelemetry() error {
 	if d.tserver != nil {
 		return nil
 	}
-	srv := telemetry.NewServer(d.Registry, func() any { return d.Topology() }, d.Tracer)
+	srv := d.newTelemetryServer()
 	if err := srv.Serve(d.cfg.TelemetryAddr); err != nil {
 		return err
 	}
@@ -186,5 +323,5 @@ func (d *DSMS) TelemetryAddr() string {
 // socket — the hook for embedding the scrape surface into an existing
 // server or an httptest harness.
 func (d *DSMS) TelemetryHandler() http.Handler {
-	return telemetry.NewServer(d.Registry, func() any { return d.Topology() }, d.Tracer).Handler()
+	return d.newTelemetryServer().Handler()
 }

@@ -17,7 +17,16 @@ import (
 // TelemetryHandler).
 func runTelemetryWorkload(t *testing.T, cfg Config) *DSMS {
 	t.Helper()
-	gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: 10_000})
+	return runTelemetryWorkloadN(t, cfg, 10_000)
+}
+
+// runTelemetryWorkloadN is runTelemetryWorkload with a chosen stream
+// length — checkpoint tests size the workload so the periodic trigger is
+// guaranteed to fire while the stream still flows (rounds cannot start
+// after end-of-stream, see ft.ErrStreamEnded).
+func runTelemetryWorkloadN(t *testing.T, cfg Config, readings int) *DSMS {
+	t.Helper()
+	gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: readings})
 	dsms := NewDSMS(cfg)
 	dsms.RegisterStream("traffic", gen.Source("traffic"), 1000)
 	q, err := dsms.RegisterQuery(traffic.QueryAvgHOVSpeed)
