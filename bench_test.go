@@ -176,6 +176,18 @@ func BenchmarkE19_CheckpointOverhead(b *testing.B) {
 	b.Run("mem-100ms", experiments.E19Checkpoint(experiments.CheckpointMem, 100*time.Millisecond))
 }
 
+// E22: incremental checkpoints — the E19 mem-100ms stress row rerun under
+// the three chain configurations: full snapshots encoded inside the
+// barrier stall (the pre-chain baseline), full snapshots with the encode
+// moved off-barrier, and the base+delta chain at the default cadence.
+// Extra metrics report per-round barrier-stall ns and written-vs-full
+// bytes; the written/full ratio is the steady-state bytes reduction.
+func BenchmarkE22_IncrementalCheckpoints(b *testing.B) {
+	b.Run("full-onbarrier", experiments.E22Incremental(experiments.CheckpointMem, 100*time.Millisecond, 1, true))
+	b.Run("full-offbarrier", experiments.E22Incremental(experiments.CheckpointMem, 100*time.Millisecond, 1, false))
+	b.Run("delta-k8", experiments.E22Incremental(experiments.CheckpointMem, 100*time.Millisecond, 0, false))
+}
+
 // E20: scalar vs batched transfer on the filter/map-dense traffic chain,
 // plus the E19 graph rerun on the batch lane (checkpoint overhead must
 // survive batching).

@@ -156,6 +156,12 @@ func main() {
 		row("mem-1s", bench(experiments.E19Checkpoint(experiments.CheckpointMem, time.Second)))
 		row("file-1s", bench(experiments.E19Checkpoint(experiments.CheckpointFile, time.Second)))
 	}
+	if run("E22") {
+		section("E22 — incremental checkpoints (avg-HOV-speed query, mem store @100ms stress)")
+		row("full-onbarrier", bench(experiments.E22Incremental(experiments.CheckpointMem, 100*time.Millisecond, 1, true)))
+		row("full-offbarrier", bench(experiments.E22Incremental(experiments.CheckpointMem, 100*time.Millisecond, 1, false)))
+		row("delta-k8", bench(experiments.E22Incremental(experiments.CheckpointMem, 100*time.Millisecond, 0, false)))
+	}
 	if run("E20") {
 		section("E20 — batched transfer (filter/map-dense traffic chain, ns/element)")
 		row("scalar", bench(experiments.E20Batch(0, experiments.CheckpointOff, 0)))

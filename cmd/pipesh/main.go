@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -190,6 +191,21 @@ func (s *session) cmdRun() {
 		return
 	}
 	s.emitted = true
+	// With -checkpoint set, say exactly what the store gave us before the
+	// run: the restored checkpoint ID, or an explicit cold start. A store
+	// that holds sealed checkpoints but cannot reconstruct any of them (a
+	// corrupt manifest chain) is an error, not a silent cold start.
+	if s.dsms.Checkpoints != nil {
+		switch cp, err := s.dsms.RecoverLatest(); {
+		case err == nil:
+			fmt.Printf("checkpoint: restored state from checkpoint %d\n", cp.ID)
+		case errors.Is(err, pipes.ErrNoCheckpoint):
+			fmt.Println("checkpoint: no sealed checkpoint found — cold start")
+		default:
+			fmt.Fprintf(os.Stderr, "checkpoint: recovery failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	s.dsms.Start()
 	s.dsms.Wait()
 	if m := s.dsms.Checkpoints; m != nil {

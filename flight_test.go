@@ -104,7 +104,7 @@ func TestFlightMetricsRoundTrip(t *testing.T) {
 	if !depthOps["synthetic.buf"] {
 		t.Error("no pipes_edge_queue_depth series for the fed buffer ref")
 	}
-	for _, phase := range []string{"align", "encode", "write"} {
+	for _, phase := range []string{"align", "snapshot", "encode", "write"} {
 		if phaseCounts[phase] == 0 {
 			t.Errorf("pipes_checkpoint_round_phase_ns{phase=%q} absent or empty", phase)
 		}

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Gob's reflective path for map[string]any re-derives the map layout and
@@ -16,6 +17,13 @@ import (
 // then per field the name, a one-byte type tag and the value. Types
 // outside the tag set fall back to a nested gob stream, so any value
 // registered for checkpointing still round-trips — just slower.
+//
+// Fields are written in sorted name order, not map order: the encoding
+// must be a pure function of the tuple's contents. The incremental
+// checkpoint chain deltas each snapshot against the previous round's
+// bytes, and randomized map iteration would make every tuple's frame
+// differ between byte-identical states, defeating both the unchanged
+// detection and the content-defined delta chunking.
 
 const (
 	tupTagInt byte = iota
@@ -28,9 +36,15 @@ const (
 
 // GobEncode implements gob.GobEncoder.
 func (t Tuple) GobEncode() ([]byte, error) {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	buf := make([]byte, 0, 16+24*len(t))
 	buf = binary.AppendUvarint(buf, uint64(len(t)))
-	for k, v := range t {
+	for _, k := range keys {
+		v := t[k]
 		buf = binary.AppendUvarint(buf, uint64(len(k)))
 		buf = append(buf, k...)
 		switch x := v.(type) {

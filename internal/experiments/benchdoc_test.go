@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The bench smoke job validates the recorded checkpoint benchmark
+// document: BENCH_checkpoint.json is the durable record behind the E19
+// overhead acceptance and the E22 incremental-chain acceptance, and this
+// test pins both its schema and the invariants the numbers must keep —
+// re-recording results that silently regress the acceptance (or drop a
+// variant) fails here, not in a reviewer's head.
+func TestBenchCheckpointDocSchema(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_checkpoint.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		Variant              string  `json:"variant"`
+		NsPerElement         float64 `json:"ns_per_element"`
+		StallNsPerRound      float64 `json:"stall_ns_per_round"`
+		WrittenBytesPerRound float64 `json:"written_bytes_per_round"`
+		FullBytesPerRound    float64 `json:"full_bytes_per_round"`
+	}
+	var doc struct {
+		Experiment string   `json:"experiment"`
+		Date       string   `json:"date"`
+		Method     string   `json:"method"`
+		E19        []row    `json:"e19"`
+		E22        []row    `json:"e22"`
+		Acceptance string   `json:"acceptance"`
+		History    []string `json:"history"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_checkpoint.json is not valid JSON: %v", err)
+	}
+	if doc.Experiment != "E19+E22" {
+		t.Errorf("experiment = %q, want E19+E22", doc.Experiment)
+	}
+	for _, field := range []struct{ name, v string }{
+		{"date", doc.Date}, {"method", doc.Method}, {"acceptance", doc.Acceptance},
+	} {
+		if field.v == "" {
+			t.Errorf("missing %s", field.name)
+		}
+	}
+	if len(doc.History) == 0 {
+		t.Error("history must record how the numbers evolved")
+	}
+
+	e19 := map[string]row{}
+	for _, r := range doc.E19 {
+		if r.NsPerElement <= 0 {
+			t.Errorf("e19 %q: ns_per_element = %v", r.Variant, r.NsPerElement)
+		}
+		e19[r.Variant] = r
+	}
+	for _, want := range []string{"off", "mem-1s", "file-1s", "mem-100ms"} {
+		if _, ok := e19[want]; !ok {
+			t.Errorf("e19 is missing variant %q", want)
+		}
+	}
+
+	e22 := map[string]row{}
+	for _, r := range doc.E22 {
+		if r.NsPerElement <= 0 || r.StallNsPerRound <= 0 ||
+			r.WrittenBytesPerRound <= 0 || r.FullBytesPerRound <= 0 {
+			t.Errorf("e22 %q: all per-round metrics must be positive: %+v", r.Variant, r)
+		}
+		e22[r.Variant] = r
+	}
+	for _, want := range []string{"full-onbarrier", "full-offbarrier", "delta-k8"} {
+		if _, ok := e22[want]; !ok {
+			t.Fatalf("e22 is missing variant %q", want)
+		}
+	}
+	// The two invariants the tentpole claims: moving the encode off the
+	// barrier shrinks the stall by at least an order of magnitude, and the
+	// delta chain at least halves the bytes written per steady-state round.
+	on, off := e22["full-onbarrier"], e22["full-offbarrier"]
+	if off.StallNsPerRound*10 > on.StallNsPerRound {
+		t.Errorf("off-barrier stall %v ns/round is not >=10x below on-barrier %v",
+			off.StallNsPerRound, on.StallNsPerRound)
+	}
+	if d := e22["delta-k8"]; d.WrittenBytesPerRound*2 > d.FullBytesPerRound {
+		t.Errorf("delta chain writes %v B/round of a %v B full image — below the 2x acceptance floor",
+			d.WrittenBytesPerRound, d.FullBytesPerRound)
+	}
+}

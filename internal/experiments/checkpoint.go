@@ -38,7 +38,26 @@ func init() {
 // snapshots and store writes off it; comparing ns/op against the bare
 // variant gives the per-element overhead.
 func E19Checkpoint(mode CheckpointMode, interval time.Duration) func(b *testing.B) {
-	return e19Checkpoint(mode, interval, 0)
+	return e19Checkpoint(mode, interval, 0, chainCfg{})
+}
+
+// chainCfg selects the incremental-checkpoint configuration for E22.
+// The zero value means "engine defaults, report only the E19 metrics".
+type chainCfg struct {
+	baseEvery int  // full-base cadence; 0 = engine default, 1 = every round full
+	onBarrier bool // legacy mode: encode under the barrier stall
+	report    bool // report per-round stall/written/full metrics
+}
+
+// E22Incremental measures what the incremental delta chain and the
+// off-barrier encode buy on the E19 graph: the same workload runs with
+// full snapshots encoded under the barrier stall (the pre-chain
+// baseline), full snapshots encoded off-barrier, and delta chains at the
+// default base cadence. Per-round barrier-stall nanoseconds and
+// written-vs-full bytes come from the manager's round accounting — the
+// bytes ratio is the steady-state reduction the chain achieves.
+func E22Incremental(mode CheckpointMode, interval time.Duration, baseEvery int, onBarrier bool) func(b *testing.B) {
+	return e19Checkpoint(mode, interval, 0, chainCfg{baseEvery: baseEvery, onBarrier: onBarrier, report: true})
 }
 
 // E19CheckpointBatched reruns E19 on the batch lane: the identical
@@ -47,10 +66,10 @@ func E19Checkpoint(mode CheckpointMode, interval time.Duration) func(b *testing.
 // punctuation-cut rule). Comparing against E19Checkpoint shows whether
 // batching preserves the ≤15% checkpoint-overhead budget.
 func E19CheckpointBatched(mode CheckpointMode, interval time.Duration, frame int) func(b *testing.B) {
-	return e19Checkpoint(mode, interval, frame)
+	return e19Checkpoint(mode, interval, frame, chainCfg{})
 }
 
-func e19Checkpoint(mode CheckpointMode, interval time.Duration, frame int) func(b *testing.B) {
+func e19Checkpoint(mode CheckpointMode, interval time.Duration, frame int, cc chainCfg) func(b *testing.B) {
 	return func(b *testing.B) {
 		gen := traffic.NewGenerator(traffic.Config{Seed: 1, MaxReadings: b.N})
 		cat := optimizer.NewCatalog()
@@ -71,6 +90,10 @@ func e19Checkpoint(mode CheckpointMode, interval time.Duration, frame int) func(
 				store = fs
 			}
 			mgr = ft.NewManager(store)
+			if cc.baseEvery > 0 {
+				mgr.SetBaseEvery(cc.baseEvery)
+			}
+			mgr.SetOnBarrierEncode(cc.onBarrier)
 			cs = ft.NewCheckpointSource(src)
 			mgr.RegisterSource(cs)
 			feed = cs
@@ -130,6 +153,13 @@ func e19Checkpoint(mode CheckpointMode, interval time.Duration, frame int) func(
 			}
 			b.ReportMetric(float64(mgr.Completed()), "checkpoints")
 			b.ReportMetric(float64(mgr.LastBytes()), "cp-bytes")
+			if cc.report {
+				if rounds := float64(mgr.Completed()); rounds > 0 {
+					b.ReportMetric(float64(mgr.StallNanosTotal())/rounds, "stall-ns/round")
+					b.ReportMetric(float64(mgr.WrittenBytesTotal())/rounds, "written-B/round")
+					b.ReportMetric(float64(mgr.FullBytesTotal())/rounds, "full-B/round")
+				}
+			}
 		}
 	}
 }

@@ -62,6 +62,28 @@ type StateLoader interface {
 	LoadState(dec *gob.Decoder) error
 }
 
+// HandleSaver is the copy-on-write refinement of StateSaver: instead of
+// serialising under the barrier, SnapshotState captures a cheap immutable
+// snapshot handle of the operator's state (slice copies of the live
+// collections — no encoding) and returns a closure that serialises that
+// handle later. The closure is invoked exactly once, on the Manager's
+// background writer after the barrier gates have released, so the gob
+// encode — the dominant cost of a large snapshot — leaves the barrier
+// stall entirely.
+//
+// The contract mirrors SaveState's: SnapshotState runs under the
+// operator's ProcMu at alignment, takes no locks and does no I/O; the
+// returned closure must depend only on the captured copies (and on
+// element values, which are immutable by the engine's purity contract —
+// see CONCURRENCY.md) so it can run concurrently with post-barrier
+// processing. SaveState and the closure must produce byte-identical
+// encodings — the differential harness's oracle. The interface is
+// declared with std-library types only so implementations stay
+// structurally matchable without importing ft.
+type HandleSaver interface {
+	SnapshotState() (func(enc *gob.Encoder) error, error)
+}
+
 // RegisterType makes a concrete type encodable inside the `any` slots of
 // checkpointed state (element values, group keys). Alias of gob.Register;
 // call it for every custom value type that flows through a checkpointed

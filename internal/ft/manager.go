@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,14 +33,26 @@ type Event struct {
 	ID    uint64
 }
 
+// DefaultBaseEvery is the default full-base cadence of the incremental
+// checkpoint chain: one full snapshot every this many sealed rounds, with
+// delta/unchanged entries in between. See SetBaseEvery.
+const DefaultBaseEvery = 8
+
 // Manager coordinates checkpoint rounds over one query graph: it injects
 // barriers at the registered sources, collects operator snapshots and
 // acks, and hands complete rounds to a background writer that persists
 // them to the store — the only place state touches I/O, off the
 // processing hot path.
 //
-// Configure (RegisterSource/RegisterOperator/RegisterSink/OnEvent) before
-// Start; Trigger and the periodic ticker drive rounds afterwards.
+// Operators implementing HandleSaver publish a copy-on-write snapshot
+// handle at the barrier (cheap collection copies, no serialisation); the
+// background writer encodes the handle after the gates release and — when
+// the store supports ChainWriter — writes only a binary delta against the
+// previous sealed round, with a full base every SetBaseEvery rounds.
+//
+// Configure (RegisterSource/RegisterOperator/RegisterSink/OnEvent/
+// SetBaseEvery/SetOnBarrierEncode) before Start; Trigger and the periodic
+// ticker drive rounds afterwards.
 type Manager struct {
 	store CheckpointStore
 
@@ -53,33 +66,91 @@ type Manager struct {
 	onEvent func(Event)
 	started bool
 
-	// scratch holds one reusable gob-encode buffer per operator. Rounds
-	// never overlap (Trigger returns ErrRoundInFlight until the writer
-	// retires the current round), so by the time a round's saveState runs,
-	// the previous round's buffers have been fully consumed by the store
-	// write — reuse is safe and keeps a multi-megabyte snapshot from
-	// allocating (and garbage-collecting) fresh buffers every interval.
+	// baseEvery is the full-base cadence of the delta chain (<=1 writes
+	// every round full); onBarrierEncode restores the legacy behaviour of
+	// serialising under the barrier stall (benchmark baseline — it also
+	// forces full entries, since the single scratch buffer cannot hold
+	// the previous round's bytes). Both are set before Start.
+	baseEvery       int
+	onBarrierEncode bool
+
+	// scratch holds one reusable gob-encode buffer per operator for the
+	// *barrier-side* encode paths (legacy mode, and savers without
+	// SnapshotState). Rounds never overlap (Trigger returns
+	// ErrRoundInFlight until the writer retires the round), so by the
+	// time a round's saveState runs, the previous round's buffer has been
+	// fully consumed by the store write — reuse is safe and keeps a
+	// multi-megabyte snapshot from allocating fresh buffers every
+	// interval.
 	scratch map[string]*bytes.Buffer
+
+	// Writer-goroutine state (plus Stop's post-Wait drain — never
+	// concurrent): per-operator double encode buffers so the previous
+	// sealed round's bytes survive as the delta parent, and the chain
+	// bookkeeping retention needs.
+	enc          map[string]*opScratch
+	prevSealedID uint64            // last sealed round (0 when none)
+	chainBase    map[uint64]uint64 // sealed id → id of its chain's base round
+	sinceBase    int               // sealed rounds since the last full base
 
 	writeCh chan *pending
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
 
-	// Flight recording (nil = detached): per-operator state-encode
-	// durations and per-round store-write/round-done phases land in the
-	// system event ring next to the alignment holds pubsub records.
+	// Flight recording (nil = detached): per-operator snapshot-capture
+	// (barrier side) and state-encode (writer side) durations plus the
+	// per-round store-write/round-done phases land in the system event
+	// ring next to the alignment holds pubsub records.
 	flightRec  *flight.Recorder
 	flightRefs map[string]*flight.OpRef
 	storeRef   *flight.OpRef
 
 	// Metrics, wired into telemetry via RegisterMetrics.
 	durHist       *telemetry.Histogram
+	stallHist     *telemetry.Histogram // per-round barrier-side stall (capture/encode under ProcMu)
 	lastID        atomic.Uint64
-	lastBytes     atomic.Int64
+	lastBytes     atomic.Int64 // full (logical) size of the last sealed checkpoint
+	lastWritten   atomic.Int64 // bytes actually written to the store for it
 	lastUnixNanos atomic.Int64
 	completed     atomic.Int64
 	failed        atomic.Int64
 	skipped       atomic.Int64 // Trigger calls skipped: round in flight
+	baseRounds    atomic.Int64
+	deltaRounds   atomic.Int64
+	sameStates    atomic.Int64 // unchanged per-operator entries
+	fullBytesTot  atomic.Int64
+	writtenTot    atomic.Int64
+	stallNanosTot atomic.Int64 // cumulative barrier-side stall
+	encNanosTot   atomic.Int64 // cumulative off-barrier encode time
+}
+
+// opScratch double-buffers one operator's encoded state across rounds:
+// cur receives this round's encoding while the other buffer still holds
+// the previous *sealed* round's bytes — the delta parent. The buffers
+// flip only on a successful seal, so a failed round never corrupts the
+// parent.
+type opScratch struct {
+	bufs     [2]bytes.Buffer
+	cur      int
+	havePrev bool
+}
+
+func (s *opScratch) next() *bytes.Buffer {
+	b := &s.bufs[s.cur]
+	b.Reset()
+	return b
+}
+
+func (s *opScratch) prev() []byte {
+	if !s.havePrev {
+		return nil
+	}
+	return s.bufs[1-s.cur].Bytes()
+}
+
+func (s *opScratch) flip() {
+	s.cur = 1 - s.cur
+	s.havePrev = true
 }
 
 // pending is one in-flight checkpoint round.
@@ -89,7 +160,9 @@ type pending struct {
 
 	mu          sync.Mutex
 	offsets     map[string]int
-	states      map[string][]byte
+	states      map[string][]byte // barrier-side encodings (nil = poisoned)
+	handles     map[string]func(*gob.Encoder) error
+	stallNS     int64 // summed barrier-side capture/encode time
 	needOffsets map[string]bool
 	needAcks    map[string]bool
 	completed   bool
@@ -98,15 +171,35 @@ type pending struct {
 // NewManager returns a Manager persisting to store.
 func NewManager(store CheckpointStore) *Manager {
 	return &Manager{
-		store:   store,
-		savers:  map[string]StateSaver{},
-		ackers:  map[string]bool{},
-		durHist: telemetry.NewHistogram(),
-		writeCh: make(chan *pending, 1),
-		stopCh:  make(chan struct{}),
-		scratch: map[string]*bytes.Buffer{},
+		store:     store,
+		savers:    map[string]StateSaver{},
+		ackers:    map[string]bool{},
+		durHist:   telemetry.NewHistogram(),
+		stallHist: telemetry.NewHistogram(),
+		writeCh:   make(chan *pending, 1),
+		stopCh:    make(chan struct{}),
+		scratch:   map[string]*bytes.Buffer{},
+		enc:       map[string]*opScratch{},
+		chainBase: map[uint64]uint64{},
+		baseEvery: DefaultBaseEvery,
 	}
 }
+
+// SetBaseEvery sets the full-base cadence of the incremental chain: one
+// full snapshot every k sealed rounds, deltas in between (k <= 1 writes
+// every round full — no chains). Must be called before Start.
+func (m *Manager) SetBaseEvery(k int) {
+	if k < 1 {
+		k = 1
+	}
+	m.baseEvery = k
+}
+
+// SetOnBarrierEncode restores the legacy encode-under-the-barrier
+// behaviour (and full, chain-free rounds): the benchmark baseline that
+// quantifies what the copy-on-write handle layer buys. Must be called
+// before Start.
+func (m *Manager) SetOnBarrierEncode(v bool) { m.onBarrierEncode = v }
 
 // RegisterSource adds a source to the rounds: every Trigger injects the
 // barrier there and records its replay offset.
@@ -116,9 +209,10 @@ func (m *Manager) RegisterSource(cs *CheckpointSource) {
 }
 
 // RegisterOperator adds a stateful operator: its state is saved each
-// round (via the StateSaver contract) and the round completes only after
-// its ack. The operator must also satisfy BarrierHooked (every
-// ops operator does, via pubsub.PipeBase).
+// round (via the StateSaver contract — operators also implementing
+// HandleSaver snapshot copy-on-write handles and encode off the barrier)
+// and the round completes only after its ack. The operator must also
+// satisfy BarrierHooked (every ops operator does, via pubsub.PipeBase).
 func (m *Manager) RegisterOperator(op BarrierHooked, saver StateSaver) {
 	name := op.Name()
 	m.savers[name] = saver
@@ -142,8 +236,9 @@ func (m *Manager) RegisterSink(s *CheckpointSink) {
 func (m *Manager) OnEvent(fn func(Event)) { m.onEvent = fn }
 
 // SetFlightRecorder attaches the flight recorder (nil detaches). Must be
-// set before Start; the barrier-phase events (state encode per operator,
-// store write and round completion per round) are recorded through it.
+// set before Start; the barrier-phase events (snapshot capture and state
+// encode per operator, store write and round completion per round) are
+// recorded through it.
 func (m *Manager) SetFlightRecorder(r *flight.Recorder) {
 	m.flightRec = r
 	if r == nil {
@@ -302,6 +397,7 @@ func (m *Manager) Trigger() (uint64, error) {
 		begun:       time.Now(),
 		offsets:     map[string]int{},
 		states:      map[string][]byte{},
+		handles:     map[string]func(*gob.Encoder) error{},
 		needOffsets: map[string]bool{},
 		needAcks:    map[string]bool{},
 	}
@@ -334,12 +430,44 @@ func (m *Manager) current(b pubsub.Barrier) *pending {
 }
 
 // saveState is the operator save hook: it runs under the operator's
-// ProcMu at barrier alignment, so it only serialises into memory.
+// ProcMu at barrier alignment, so whatever it does is barrier stall. A
+// HandleSaver pays only the copy-on-write capture here (the encode moves
+// to the writer goroutine); a plain StateSaver — or any saver when
+// SetOnBarrierEncode is on — serialises into the staging buffer in place,
+// the legacy behaviour.
 func (m *Manager) saveState(b pubsub.Barrier, name string, saver StateSaver) {
 	p := m.current(b)
 	if p == nil {
 		return
 	}
+	var start int64
+	if m.flightRec != nil {
+		start = m.flightRec.NowNS()
+	} else {
+		start = time.Now().UnixNano()
+	}
+	if hs, ok := saver.(HandleSaver); ok && !m.onBarrierEncode {
+		fn, err := hs.SnapshotState()
+		stall := m.sinceNS(start)
+		if m.flightRec != nil {
+			if ref := m.flightRef(name); ref != nil {
+				ref.Phase(flight.KindSnapshot, int64(b.ID), stall, 0)
+			}
+		}
+		p.mu.Lock()
+		if err != nil {
+			// A state that cannot snapshot poisons the round: mark it
+			// absent and let the round fail at write time.
+			p.states[name] = nil
+		} else {
+			p.handles[name] = fn
+		}
+		p.stallNS += stall
+		p.mu.Unlock()
+		m.emit(Event{Stage: "save", Node: name, ID: b.ID})
+		return
+	}
+
 	m.mu.Lock()
 	buf := m.scratch[name]
 	if buf == nil {
@@ -347,27 +475,33 @@ func (m *Manager) saveState(b pubsub.Barrier, name string, saver StateSaver) {
 		m.scratch[name] = buf
 	}
 	m.mu.Unlock()
-	var encStart int64
-	if m.flightRec != nil {
-		encStart = m.flightRec.NowNS()
-	}
 	buf.Reset()
 	err := saver.SaveState(gob.NewEncoder(buf))
+	stall := m.sinceNS(start)
 	if m.flightRec != nil {
 		if ref := m.flightRef(name); ref != nil {
-			ref.Phase(flight.KindEncode, int64(b.ID), m.flightRec.NowNS()-encStart, int64(buf.Len()))
+			ref.Phase(flight.KindSnapshot, int64(b.ID), stall, int64(buf.Len()))
 		}
 	}
 	p.mu.Lock()
 	if err != nil {
-		// A snapshot that cannot serialise poisons the round: mark the
-		// state absent and let the round fail at write time.
 		p.states[name] = nil
 	} else {
 		p.states[name] = buf.Bytes()
 	}
+	p.stallNS += stall
 	p.mu.Unlock()
 	m.emit(Event{Stage: "save", Node: name, ID: b.ID})
+}
+
+// sinceNS returns nanoseconds elapsed since a stamp taken from the same
+// clock (the flight recorder's, so fake clocks govern the stall metric
+// too; wall time when detached).
+func (m *Manager) sinceNS(start int64) int64 {
+	if m.flightRec != nil {
+		return m.flightRec.NowNS() - start
+	}
+	return time.Now().UnixNano() - start
 }
 
 // acked marks one participant's barrier receipt.
@@ -413,13 +547,21 @@ func (m *Manager) maybeComplete(p *pending) {
 	m.writeCh <- p
 }
 
+// roundStats summarises what one store write actually did.
+type roundStats struct {
+	fullBytes    int64 // logical size: sum of full encodings
+	writtenBytes int64 // bytes put to the store (full entries + deltas)
+	encodeNS     int64 // off-barrier encode time
+	usedParent   bool  // any delta/same entry references the parent
+}
+
 // write persists one completed round and retires it.
 func (m *Manager) write(p *pending) {
 	var writeStart int64
 	if m.flightRec != nil {
 		writeStart = m.flightRec.NowNS()
 	}
-	err := m.writeStore(p)
+	stats, err := m.writeStore(p)
 	m.mu.Lock()
 	if m.cur == p {
 		m.cur = nil // round retired: the next Trigger may proceed
@@ -430,51 +572,181 @@ func (m *Manager) write(p *pending) {
 		m.emit(Event{Stage: "failed", ID: p.id})
 		return
 	}
+	// Seal succeeded: this round's encodings become the next round's
+	// delta parents, and the chain bookkeeping advances.
+	for _, sc := range m.enc {
+		sc.flip()
+	}
+	base := p.id
+	if stats.usedParent {
+		base = m.chainBase[m.prevSealedID]
+		if base == 0 {
+			base = m.prevSealedID
+		}
+		m.sinceBase++
+		m.deltaRounds.Add(1)
+	} else {
+		m.sinceBase = 0
+		m.baseRounds.Add(1)
+	}
+	m.chainBase[p.id] = base
+	// Retention: keep the last two sealed checkpoints (recovery falls
+	// back at most one on a torn write) plus every chain ancestor either
+	// still needs. The floor is listing- and chain-driven, not an
+	// assumption of dense IDs — failed rounds leave gaps. Best-effort: a
+	// failed drop never fails the round.
+	floor := base
+	if m.prevSealedID != 0 {
+		if pb := m.chainBase[m.prevSealedID]; pb != 0 && pb < floor {
+			floor = pb
+		}
+	}
+	if floor > 1 {
+		_ = m.store.Drop(floor - 1)
+		for id := range m.chainBase {
+			if id < floor {
+				delete(m.chainBase, id)
+			}
+		}
+	}
+	m.prevSealedID = p.id
+
 	roundNS := time.Since(p.begun).Nanoseconds()
 	m.durHist.Observe(roundNS)
-	var bytesTotal int64
-	for _, st := range p.states {
-		bytesTotal += int64(len(st))
-	}
+	p.mu.Lock()
+	stallNS := p.stallNS
+	p.mu.Unlock()
+	m.stallHist.Observe(stallNS)
+	m.stallNanosTot.Add(stallNS)
+	m.encNanosTot.Add(stats.encodeNS)
+	m.fullBytesTot.Add(stats.fullBytes)
+	m.writtenTot.Add(stats.writtenBytes)
 	if m.flightRec != nil {
-		m.storeRef.Phase(flight.KindStoreWrite, int64(p.id), m.flightRec.NowNS()-writeStart, bytesTotal)
-		m.storeRef.Phase(flight.KindRoundDone, int64(p.id), roundNS, bytesTotal)
+		m.storeRef.Phase(flight.KindStoreWrite, int64(p.id), m.flightRec.NowNS()-writeStart, stats.writtenBytes)
+		m.storeRef.Phase(flight.KindRoundDone, int64(p.id), roundNS, stats.fullBytes)
 	}
 	m.lastID.Store(p.id)
-	m.lastBytes.Store(bytesTotal)
+	m.lastBytes.Store(stats.fullBytes)
+	m.lastWritten.Store(stats.writtenBytes)
 	m.lastUnixNanos.Store(time.Now().UnixNano())
 	m.completed.Add(1)
 	m.emit(Event{Stage: "sealed", ID: p.id})
-	// Retention: a freshly sealed round makes everything older than its
-	// predecessor dead weight — recovery reads LatestComplete and falls
-	// back at most one checkpoint on a torn write. Dropping here (still on
-	// the writer goroutine, off the hot path) caps the store at two rounds,
-	// which for MemStore also caps the live heap the collector must track.
-	// Best-effort: a failed drop never fails the round.
-	if p.id > 2 {
-		_ = m.store.Drop(p.id - 2)
-	}
 }
 
-func (m *Manager) writeStore(p *pending) error {
+// writeStore encodes the round's handles (off-barrier, on this writer
+// goroutine), decides full/delta/unchanged per operator and stages
+// everything into one store writer, sealing at the end.
+func (m *Manager) writeStore(p *pending) (roundStats, error) {
+	var stats roundStats
 	w, err := m.store.Begin(p.id)
 	if err != nil {
-		return err
+		return stats, err
 	}
-	for name, st := range p.states {
-		if st == nil {
-			return fmt.Errorf("ft: round %d: state of %s failed to serialise", p.id, name)
-		}
-		if err := w.PutState(name, st); err != nil {
-			return err
-		}
+	cw, chainOK := w.(ChainWriter)
+	parent := m.prevSealedID
+	// A base round: no parent to delta against, chains disabled or
+	// unsupported, legacy on-barrier mode, or the cadence is due.
+	isBase := parent == 0 || !chainOK || m.baseEvery <= 1 || m.onBarrierEncode ||
+		m.sinceBase >= m.baseEvery-1
+
+	p.mu.Lock()
+	names := make([]string, 0, len(p.states)+len(p.handles))
+	for name := range p.states {
+		names = append(names, name)
 	}
+	for name := range p.handles {
+		names = append(names, name)
+	}
+	offsets := make(map[string]int, len(p.offsets))
 	for name, off := range p.offsets {
-		if err := w.PutOffset(name, off); err != nil {
-			return err
+		offsets[name] = off
+	}
+	p.mu.Unlock()
+	sort.Strings(names) // deterministic store layout
+
+	for _, name := range names {
+		cur, encNS, err := m.encodeState(p, name)
+		if err != nil {
+			return stats, err
+		}
+		stats.encodeNS += encNS
+		stats.fullBytes += int64(len(cur))
+
+		sc := m.enc[name]
+		prev := sc.prev()
+		switch {
+		case isBase || prev == nil:
+			if err := w.PutState(name, cur); err != nil {
+				return stats, err
+			}
+			stats.writtenBytes += int64(len(cur))
+		case bytes.Equal(prev, cur):
+			if err := cw.PutStateUnchanged(name, parent); err != nil {
+				return stats, err
+			}
+			stats.usedParent = true
+			m.sameStates.Add(1)
+		default:
+			if d := MakeDelta(prev, cur); d != nil {
+				if err := cw.PutStateDelta(name, parent, d); err != nil {
+					return stats, err
+				}
+				stats.writtenBytes += int64(len(d))
+				stats.usedParent = true
+			} else {
+				if err := w.PutState(name, cur); err != nil {
+					return stats, err
+				}
+				stats.writtenBytes += int64(len(cur))
+			}
 		}
 	}
-	return w.Seal()
+	for name, off := range offsets {
+		if err := w.PutOffset(name, off); err != nil {
+			return stats, err
+		}
+	}
+	return stats, w.Seal()
+}
+
+// encodeState produces one operator's full encoding for this round into
+// its double-buffered scratch: handles are serialised here (the
+// off-barrier encode), barrier-side encodings are copied in so they too
+// survive as the next round's delta parent.
+func (m *Manager) encodeState(p *pending, name string) ([]byte, int64, error) {
+	sc := m.enc[name]
+	if sc == nil {
+		sc = &opScratch{}
+		m.enc[name] = sc
+	}
+	buf := sc.next()
+	p.mu.Lock()
+	fn := p.handles[name]
+	st, stStaged := p.states[name]
+	p.mu.Unlock()
+	if fn != nil {
+		var start int64
+		if m.flightRec != nil {
+			start = m.flightRec.NowNS()
+		} else {
+			start = time.Now().UnixNano()
+		}
+		if err := fn(gob.NewEncoder(buf)); err != nil {
+			return nil, 0, fmt.Errorf("ft: round %d: state of %s failed to serialise: %w", p.id, name, err)
+		}
+		encNS := m.sinceNS(start)
+		if m.flightRec != nil {
+			if ref := m.flightRef(name); ref != nil {
+				ref.Phase(flight.KindEncode, int64(p.id), encNS, int64(buf.Len()))
+			}
+		}
+		return buf.Bytes(), encNS, nil
+	}
+	if !stStaged || st == nil {
+		return nil, 0, fmt.Errorf("ft: round %d: state of %s failed to serialise", p.id, name)
+	}
+	buf.Write(st)
+	return buf.Bytes(), 0, nil
 }
 
 // LastCheckpointID returns the ID of the last sealed round (0 when none).
@@ -483,22 +755,55 @@ func (m *Manager) LastCheckpointID() uint64 { return m.lastID.Load() }
 // Completed returns the number of sealed rounds.
 func (m *Manager) Completed() int64 { return m.completed.Load() }
 
-// LastBytes returns the serialised size of the last sealed checkpoint.
+// LastBytes returns the full (logical) serialised size of the last sealed
+// checkpoint — what a reader reconstructs, regardless of how little the
+// delta chain actually wrote.
 func (m *Manager) LastBytes() int64 { return m.lastBytes.Load() }
 
+// LastWrittenBytes returns the bytes physically written to the store for
+// the last sealed checkpoint (full entries plus delta blobs; unchanged
+// entries write nothing).
+func (m *Manager) LastWrittenBytes() int64 { return m.lastWritten.Load() }
+
+// WrittenBytesTotal returns the cumulative bytes written to the store
+// across all sealed rounds.
+func (m *Manager) WrittenBytesTotal() int64 { return m.writtenTot.Load() }
+
+// FullBytesTotal returns the cumulative full-encoding bytes across all
+// sealed rounds — the denominator of the delta chain's write reduction.
+func (m *Manager) FullBytesTotal() int64 { return m.fullBytesTot.Load() }
+
+// StallNanosTotal returns the cumulative barrier-side stall spent in
+// save hooks (snapshot captures; full encodes in legacy mode) across all
+// sealed rounds.
+func (m *Manager) StallNanosTotal() int64 { return m.stallNanosTot.Load() }
+
+// EncodeNanosTotal returns the cumulative off-barrier encode time spent
+// on the writer goroutine across all sealed rounds.
+func (m *Manager) EncodeNanosTotal() int64 { return m.encNanosTot.Load() }
+
 // RegisterMetrics exposes checkpoint health on the telemetry registry:
-// round duration histogram, last sealed ID, last checkpoint size in
-// bytes, last success wall time, and completed/failed/skipped counters.
+// round duration and barrier-stall histograms, last sealed ID, last
+// checkpoint sizes (full and written), last success wall time, and
+// completed/failed/skipped/base/delta counters.
 func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterHistogram("pipes_checkpoint_duration_nanos", nil, m.durHist)
+	reg.RegisterHistogram("pipes_checkpoint_barrier_stall_nanos", nil, m.stallHist)
 	reg.RegisterGauge("pipes_checkpoint_last_id", nil, func() float64 { return float64(m.lastID.Load()) })
 	reg.RegisterGauge("pipes_checkpoint_last_bytes", nil, func() float64 { return float64(m.lastBytes.Load()) })
+	reg.RegisterGauge("pipes_checkpoint_last_written_bytes", nil, func() float64 { return float64(m.lastWritten.Load()) })
 	reg.RegisterGauge("pipes_checkpoint_last_success_unix_nanos", nil, func() float64 { return float64(m.lastUnixNanos.Load()) })
 	reg.RegisterCounterSet("pipes_checkpoint_", func() map[string]int64 {
 		return map[string]int64{
-			"completed_total": m.completed.Load(),
-			"failed_total":    m.failed.Load(),
-			"skipped_total":   m.skipped.Load(),
+			"completed_total":        m.completed.Load(),
+			"failed_total":           m.failed.Load(),
+			"skipped_total":          m.skipped.Load(),
+			"base_rounds_total":      m.baseRounds.Load(),
+			"delta_rounds_total":     m.deltaRounds.Load(),
+			"unchanged_states_total": m.sameStates.Load(),
+			"full_bytes_total":       m.fullBytesTot.Load(),
+			"written_bytes_total":    m.writtenTot.Load(),
+			"encode_nanos_total":     m.encNanosTot.Load(),
 		}
 	})
 }

@@ -11,7 +11,10 @@ import (
 // checkpointed run — the optimizer's deterministic names, or explicit
 // ones) to the new operator instance. Every state entry must find its
 // loader; loaders without a state entry are left empty (an operator that
-// held no state when the checkpoint was cut has no entry).
+// held no state when the checkpoint was cut has no entry). cp.States is
+// always the fully resolved state image: the stores reconstruct
+// base+delta chains in LatestComplete (ApplyDelta along the recorded
+// parents), so restoration never sees a partial delta entry.
 func RestoreStates(cp *Checkpoint, loaders map[string]StateLoader) error {
 	if cp == nil {
 		return ErrNoCheckpoint

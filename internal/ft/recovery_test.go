@@ -1,8 +1,13 @@
 package ft_test
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -219,9 +224,25 @@ func testCrashRecovery(t *testing.T, sh shape, inputs [][]temporal.Element, poin
 		}
 	}
 
-	// Checkpointed run with fault injection.
-	store := harness.NewTornStore(ft.NewMemStore())
+	// Checkpointed run with fault injection. The store is the delta-chain
+	// MemStore most runs and the durable FileStore on some, and the
+	// full-base cadence varies so the fault windows strike base rounds,
+	// delta rounds and chain-free (baseEvery=1) runs alike.
+	var inner ft.CheckpointStore = ft.NewMemStore()
+	storeKind := "mem"
+	if rng.Intn(3) == 0 {
+		fs, err := ft.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner = fs
+		storeKind = "file"
+	}
+	baseEvery := 1 + rng.Intn(4)
+	t.Logf("store=%s baseEvery=%d", storeKind, baseEvery)
+	store := harness.NewTornStore(inner)
 	mgr := ft.NewManager(store)
+	mgr.SetBaseEvery(baseEvery)
 	crash := harness.NewCrash()
 	plan.Arm(mgr, store, crash)
 
@@ -355,5 +376,117 @@ func testCrashRecovery(t *testing.T, sh shape, inputs [][]temporal.Element, poin
 	if err := harness.Equivalent(ref, merged); err != nil {
 		t.Fatalf("shape=%s fault=%v: merged output not snapshot-equivalent: %v\n(pre-crash cut %d elements, recovered %d, reference %d)",
 			sh.name, point, err, len(merged)-len(rcol.Elements()), len(rcol.Elements()), len(ref))
+	}
+}
+
+// Satellite: recovery across a base+delta chain whose tail delta is torn.
+// A crash that corrupts the newest checkpoint's delta payload after seal
+// must not poison recovery — the store falls back to the last intact
+// sealed prefix of the chain, and the state it resolves (base plus the
+// surviving deltas) must be byte-identical to the scalar SaveState
+// snapshot captured at that cut.
+func TestDeltaChainRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ft.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := ft.NewManager(store)
+	mgr.SetBaseEvery(10) // one base round; every later round chains a delta
+
+	const perRound = 256
+	const rounds = 3
+	src := ft.NewCheckpointSource(pubsub.NewSliceSource("src", manyElements(rounds*perRound)))
+	win := ops.NewCountWindow("win", 4096)
+	sink := ft.NewCheckpointSink("sink")
+	mustSub(src, win, 0)
+	mustSub(win, sink, 0)
+	mgr.RegisterSource(src)
+	mgr.RegisterOperator(win, win)
+	mgr.RegisterSink(sink)
+	mgr.Start(0)
+
+	// Scalar snapshots at every cut: the barrier is injected ahead of the
+	// round's elements, so the cut image is the state just before Trigger.
+	snaps := map[uint64][]byte{}
+	var lastID uint64
+	for round := 0; round < rounds; round++ {
+		var full bytes.Buffer
+		if err := win.SaveState(gob.NewEncoder(&full)); err != nil {
+			t.Fatal(err)
+		}
+		id, err := mgr.Trigger()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[id] = full.Bytes()
+		for i := 0; i < perRound; i++ {
+			src.EmitNext()
+		}
+		waitSealed(t, mgr, id)
+		lastID = id
+	}
+	mgr.Stop()
+	if lastID != rounds {
+		t.Fatalf("sealed %d rounds, want %d", lastID, rounds)
+	}
+	if mgr.WrittenBytesTotal() >= mgr.FullBytesTotal() {
+		t.Fatalf("written %dB >= full %dB: no round actually chained a delta",
+			mgr.WrittenBytesTotal(), mgr.FullBytesTotal())
+	}
+	tailDir := filepath.Join(dir, fmt.Sprintf("cp-%d", lastID))
+	man, err := os.ReadFile(filepath.Join(tailDir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(man), `"kind":"delta"`) {
+		t.Fatalf("tail checkpoint holds no delta entry — the torn-tail case needs a chained tail:\n%s", man)
+	}
+
+	// Tear the tail: truncate the delta payload of the newest checkpoint.
+	payloads, err := filepath.Glob(filepath.Join(tailDir, "state-*.gob"))
+	if err != nil || len(payloads) == 0 {
+		t.Fatalf("no state payloads in %s (err %v)", tailDir, err)
+	}
+	for _, f := range payloads {
+		if err := os.Truncate(f, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A recovering process opens the directory fresh: the torn tail is
+	// skipped without error and the previous sealed checkpoint wins,
+	// resolved through its own surviving chain.
+	reopened, err := ft.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := reopened.LatestComplete()
+	if err != nil {
+		t.Fatalf("torn tail must fall back, not fail: %v", err)
+	}
+	if cp == nil || cp.ID != lastID-1 {
+		t.Fatalf("latest after torn tail = %+v, want checkpoint %d", cp, lastID-1)
+	}
+	if !bytes.Equal(cp.States["win"], snaps[cp.ID]) {
+		t.Fatalf("resolved state (%dB) differs from the scalar snapshot at cut %d (%dB)",
+			len(cp.States["win"]), cp.ID, len(snaps[cp.ID]))
+	}
+	if got := cp.Offset("src"); got != perRound*int(cp.ID-1) {
+		t.Fatalf("replay offset = %d, want %d", got, perRound*int(cp.ID-1))
+	}
+
+	// The resolved image restores into a fresh operator and re-encodes
+	// byte-identically — the full scalar round trip.
+	fresh := ops.NewCountWindow("win", 4096)
+	if err := ft.RestoreStates(cp, map[string]ft.StateLoader{"win": fresh}); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := fresh.SaveState(gob.NewEncoder(&again)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), snaps[cp.ID]) {
+		t.Fatal("restored operator re-encodes differently from the scalar snapshot")
 	}
 }

@@ -135,6 +135,36 @@ func (w *tornWriter) PutState(op string, state []byte) error {
 	return w.inner.PutState(op, state)
 }
 
+// PutStateDelta forwards the ft.ChainWriter contract so incremental
+// delta rounds flow through fault injection unchanged — the wrapped
+// store's chain support is what the manager detects, so a TornStore over
+// a chain-capable store stays chain-capable.
+func (w *tornWriter) PutStateDelta(op string, parent uint64, delta []byte) error {
+	cw, ok := w.inner.(ft.ChainWriter)
+	if !ok {
+		return errNoChainSupport
+	}
+	return cw.PutStateDelta(op, parent, delta)
+}
+
+// PutStateUnchanged forwards the ft.ChainWriter contract (see
+// PutStateDelta).
+func (w *tornWriter) PutStateUnchanged(op string, parent uint64) error {
+	cw, ok := w.inner.(ft.ChainWriter)
+	if !ok {
+		return errNoChainSupport
+	}
+	return cw.PutStateUnchanged(op, parent)
+}
+
+var errNoChainSupport = chainSupportError{}
+
+type chainSupportError struct{}
+
+func (chainSupportError) Error() string {
+	return "harness: wrapped checkpoint store does not support chain writes"
+}
+
 func (w *tornWriter) Seal() error {
 	if w.store.failSeal.Load() {
 		w.store.torn.Add(1)

@@ -4,10 +4,18 @@
 // here, so ops stays free of an ft import) encoding exactly the
 // information a rebuilt operator needs to continue from a barrier cut:
 //
-//   - SaveState is invoked by the barrier save hook under ProcMu — the
-//     operator is quiescent — and therefore takes no locks itself. It
-//     must not do I/O: it writes into the coordinator's staging encoder
-//     (a memory buffer); the durable write happens off the hot path.
+//   - SnapshotState is the copy-on-write capture (the structural
+//     ft.HandleSaver contract): invoked by the barrier save hook under
+//     ProcMu, it copies the live collections — flat slice copies, no
+//     canonical ordering, no encoding — and returns a closure that
+//     serialises the captured copies later, on the checkpoint writer's
+//     goroutine. The closure reads only its captures and the immutable
+//     element values (the engine's purity contract), so it runs safely
+//     concurrent with post-barrier processing; sorting, canonKey
+//     rendering and the gob encode all move off the barrier stall.
+//   - SaveState (the legacy synchronous form) delegates to SnapshotState
+//     and invokes the closure in place, so both paths produce
+//     byte-identical encodings — the differential harness's oracle.
 //   - LoadState runs on a freshly constructed, not-yet-started operator.
 //   - Trace slots are dropped: element traces are diagnostic context of
 //     the run that produced them and do not survive a crash (restored
@@ -28,7 +36,6 @@ import (
 	"sort"
 
 	"pipes/internal/aggregate"
-	"pipes/internal/sweeparea"
 	"pipes/internal/temporal"
 	"pipes/internal/xds"
 )
@@ -93,14 +100,6 @@ func sortWire(ws []wireElem) {
 	})
 }
 
-// areaWire serialises a sweep area's contents in canonical order. Area
-// semantics are insertion-order independent, so reload order is free.
-func areaWire(a sweeparea.SweepArea) []wireElem {
-	ws := toWire(a.Items())
-	sortWire(ws)
-	return ws
-}
-
 // orderBufferState is the serialised form of an orderBuffer: the pending
 // (unreleased) results and the per-input watermarks. Done marks are
 // re-established by the replayed inputs.
@@ -109,8 +108,28 @@ type orderBufferState struct {
 	WM      []temporal.Time
 }
 
+// orderBufferCapture is the copy-on-write capture of an orderBuffer:
+// plain slice copies taken under ProcMu (xds.Heap.Items returns its
+// backing array, so the capture must copy), converted to wire form only
+// at encode time.
+type orderBufferCapture struct {
+	pending []temporal.Element
+	wm      []temporal.Time
+}
+
+func (b *orderBuffer) capture() orderBufferCapture {
+	return orderBufferCapture{
+		pending: append([]temporal.Element(nil), b.heap.Items()...),
+		wm:      append([]temporal.Time(nil), b.wm...),
+	}
+}
+
+func (c orderBufferCapture) wire() orderBufferState {
+	return orderBufferState{Pending: toWire(c.pending), WM: c.wm}
+}
+
 func (b *orderBuffer) saveState() orderBufferState {
-	return orderBufferState{Pending: toWire(b.heap.Items()), WM: append([]temporal.Time(nil), b.wm...)}
+	return b.capture().wire()
 }
 
 func (b *orderBuffer) loadState(st orderBufferState) {
@@ -128,12 +147,28 @@ type joinState struct {
 	Out   orderBufferState
 }
 
+// SnapshotState implements the ft.HandleSaver contract: sweep-area and
+// order-buffer contents are copied under the barrier (SweepArea.Items
+// already returns a fresh slice); ordering and encoding run in the
+// closure, off the stall.
+func (j *Join) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	a0, a1 := j.areas[0].Items(), j.areas[1].Items()
+	out := j.out.capture()
+	return func(enc *gob.Encoder) error {
+		w0, w1 := toWire(a0), toWire(a1)
+		sortWire(w0)
+		sortWire(w1)
+		return enc.Encode(joinState{Areas: [2][]wireElem{w0, w1}, Out: out.wire()})
+	}, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (j *Join) SaveState(enc *gob.Encoder) error {
-	return enc.Encode(joinState{
-		Areas: [2][]wireElem{areaWire(j.areas[0]), areaWire(j.areas[1])},
-		Out:   j.out.saveState(),
-	})
+	fn, err := j.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -166,14 +201,47 @@ type groupByState struct {
 	Out    orderBufferState
 }
 
+// groupCapture is one live group's copy-on-write capture.
+type groupCapture struct {
+	key    any
+	lb     temporal.Time
+	active []temporal.Element
+}
+
+// SnapshotState implements the ft.HandleSaver contract. The live
+// multisets are canonically sorted in the closure (they are reloaded by
+// re-insertion, so serialised order is free) — that both moves the sort
+// off the barrier and gives consecutive rounds byte-stable encodings for
+// the delta chain, where raw heap layout would shuffle unchanged groups.
+func (g *GroupBy) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	caps := make([]groupCapture, 0, len(g.groups))
+	for k, grp := range g.groups {
+		caps = append(caps, groupCapture{
+			key:    k,
+			lb:     grp.lb,
+			active: append([]temporal.Element(nil), grp.active.Items()...),
+		})
+	}
+	out := g.out.capture()
+	return func(enc *gob.Encoder) error {
+		st := groupByState{Out: out.wire()}
+		for _, c := range caps {
+			ws := toWire(c.active)
+			sortWire(ws)
+			st.Groups = append(st.Groups, groupState{Key: c.key, LB: c.lb, Active: ws})
+		}
+		sort.Slice(st.Groups, func(i, j int) bool { return canonKey(st.Groups[i].Key) < canonKey(st.Groups[j].Key) })
+		return enc.Encode(st)
+	}, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (g *GroupBy) SaveState(enc *gob.Encoder) error {
-	st := groupByState{Out: g.out.saveState()}
-	for k, grp := range g.groups {
-		st.Groups = append(st.Groups, groupState{Key: k, LB: grp.lb, Active: toWire(grp.active.Items())})
+	fn, err := g.SnapshotState()
+	if err != nil {
+		return err
 	}
-	sort.Slice(st.Groups, func(i, j int) bool { return canonKey(st.Groups[i].Key) < canonKey(st.Groups[j].Key) })
-	return enc.Encode(st)
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -229,16 +297,36 @@ type diffOpState struct {
 	Out    orderBufferState
 }
 
-func saveDiffLike(state map[any]*diffState, expiry *xds.Heap[diffExpiry], inQ [2]xds.Queue[temporal.Element], out *orderBuffer) diffOpState {
-	st := diffOpState{
-		InQ: [2][]wireElem{toWire(inQ[0].Items()), toWire(inQ[1].Items())},
-		Out: out.saveState(),
+// diffCapture is the copy-on-write capture shared by Difference and
+// Intersect: per-key records and the expiry heap's backing array copied
+// flat; sorting and wire conversion happen in the encode closure.
+type diffCapture struct {
+	keys   []diffKeyState
+	expiry []diffExpiry
+	inQ    [2][]temporal.Element
+	out    orderBufferCapture
+}
+
+func captureDiffLike(state map[any]*diffState, expiry *xds.Heap[diffExpiry], inQ [2]xds.Queue[temporal.Element], out *orderBuffer) diffCapture {
+	c := diffCapture{
+		expiry: append([]diffExpiry(nil), expiry.Items()...),
+		inQ:    [2][]temporal.Element{inQ[0].Items(), inQ[1].Items()},
+		out:    out.capture(),
 	}
 	for k, ds := range state {
-		st.Keys = append(st.Keys, diffKeyState{Key: k, Value: ds.value, Counts: ds.counts, LB: ds.lb})
+		c.keys = append(c.keys, diffKeyState{Key: k, Value: ds.value, Counts: ds.counts, LB: ds.lb})
+	}
+	return c
+}
+
+func (c diffCapture) wire() diffOpState {
+	st := diffOpState{
+		Keys: c.keys,
+		InQ:  [2][]wireElem{toWire(c.inQ[0]), toWire(c.inQ[1])},
+		Out:  c.out.wire(),
 	}
 	sort.Slice(st.Keys, func(i, j int) bool { return canonKey(st.Keys[i].Key) < canonKey(st.Keys[j].Key) })
-	for _, ev := range expiry.Items() {
+	for _, ev := range c.expiry {
 		st.Expiry = append(st.Expiry, wireDiffExpiry{End: ev.end, Key: ev.key, Input: ev.input})
 	}
 	return st
@@ -260,9 +348,19 @@ func loadDiffLike(st diffOpState, state map[any]*diffState, expiry *xds.Heap[dif
 	out.loadState(st.Out)
 }
 
+// SnapshotState implements the ft.HandleSaver contract.
+func (d *Difference) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	c := captureDiffLike(d.state, d.expiry, d.inQ, d.out)
+	return func(enc *gob.Encoder) error { return enc.Encode(c.wire()) }, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (d *Difference) SaveState(enc *gob.Encoder) error {
-	return enc.Encode(saveDiffLike(d.state, d.expiry, d.inQ, d.out))
+	fn, err := d.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -275,9 +373,19 @@ func (d *Difference) LoadState(dec *gob.Decoder) error {
 	return nil
 }
 
+// SnapshotState implements the ft.HandleSaver contract.
+func (in *Intersect) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	c := captureDiffLike(in.state, in.expiry, in.inQ, in.out)
+	return func(enc *gob.Encoder) error { return enc.Encode(c.wire()) }, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (in *Intersect) SaveState(enc *gob.Encoder) error {
-	return enc.Encode(saveDiffLike(in.state, in.expiry, in.inQ, in.out))
+	fn, err := in.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -295,9 +403,19 @@ type unionState struct {
 	Out orderBufferState
 }
 
+// SnapshotState implements the ft.HandleSaver contract.
+func (u *Union) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	out := u.out.capture()
+	return func(enc *gob.Encoder) error { return enc.Encode(unionState{Out: out.wire()}) }, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (u *Union) SaveState(enc *gob.Encoder) error {
-	return enc.Encode(unionState{Out: u.out.saveState()})
+	fn, err := u.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -316,9 +434,20 @@ type countWindowState struct {
 	Buf []wireElem
 }
 
+// SnapshotState implements the ft.HandleSaver contract. Arrival order is
+// the state (displacement order), so the capture is the queue copy as-is.
+func (w *CountWindow) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	buf := w.buf.Items()
+	return func(enc *gob.Encoder) error { return enc.Encode(countWindowState{Buf: toWire(buf)}) }, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (w *CountWindow) SaveState(enc *gob.Encoder) error {
-	return enc.Encode(countWindowState{Buf: toWire(w.buf.Items())})
+	fn, err := w.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -340,13 +469,31 @@ type mjoinState struct {
 	Out   orderBufferState
 }
 
+// SnapshotState implements the ft.HandleSaver contract.
+func (m *MJoin) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	areas := make([][]temporal.Element, len(m.areas))
+	for i, a := range m.areas {
+		areas[i] = a.Items()
+	}
+	out := m.out.capture()
+	return func(enc *gob.Encoder) error {
+		st := mjoinState{Areas: make([][]wireElem, len(areas)), Out: out.wire()}
+		for i, es := range areas {
+			ws := toWire(es)
+			sortWire(ws)
+			st.Areas[i] = ws
+		}
+		return enc.Encode(st)
+	}, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (m *MJoin) SaveState(enc *gob.Encoder) error {
-	st := mjoinState{Areas: make([][]wireElem, len(m.areas)), Out: m.out.saveState()}
-	for i, a := range m.areas {
-		st.Areas[i] = areaWire(a)
+	fn, err := m.SnapshotState()
+	if err != nil {
+		return err
 	}
-	return enc.Encode(st)
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.
@@ -379,14 +526,37 @@ type partWindowState struct {
 	Out   orderBufferState
 }
 
+// partCapture is one partition's copy-on-write capture. Elems stay in
+// arrival order — that order IS the partition's state.
+type partCapture struct {
+	key   any
+	elems []temporal.Element
+}
+
+// SnapshotState implements the ft.HandleSaver contract.
+func (w *PartitionedWindow) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	caps := make([]partCapture, 0, len(w.part))
+	for k, q := range w.part {
+		caps = append(caps, partCapture{key: k, elems: q.Items()})
+	}
+	out := w.out.capture()
+	return func(enc *gob.Encoder) error {
+		st := partWindowState{Out: out.wire()}
+		for _, c := range caps {
+			st.Parts = append(st.Parts, partitionState{Key: c.key, Elems: toWire(c.elems)})
+		}
+		sort.Slice(st.Parts, func(i, j int) bool { return canonKey(st.Parts[i].Key) < canonKey(st.Parts[j].Key) })
+		return enc.Encode(st)
+	}, nil
+}
+
 // SaveState implements the ft.StateSaver contract.
 func (w *PartitionedWindow) SaveState(enc *gob.Encoder) error {
-	st := partWindowState{Out: w.out.saveState()}
-	for k, q := range w.part {
-		st.Parts = append(st.Parts, partitionState{Key: k, Elems: toWire(q.Items())})
+	fn, err := w.SnapshotState()
+	if err != nil {
+		return err
 	}
-	sort.Slice(st.Parts, func(i, j int) bool { return canonKey(st.Parts[i].Key) < canonKey(st.Parts[j].Key) })
-	return enc.Encode(st)
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.

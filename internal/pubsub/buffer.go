@@ -288,10 +288,12 @@ type bufferState struct {
 	}
 }
 
-// SaveState implements the ft.StateSaver contract. Unlike operator
-// SaveState it locks internally: Buffer has no ProcMu and the barrier
-// protocol never calls this on the hot path.
-func (b *Buffer) SaveState(enc *gob.Encoder) error {
+// SnapshotState implements the ft.HandleSaver contract: the queued data
+// elements are flattened into a capture slice under b.mu; the returned
+// closure encodes the capture without touching the live queue, so the
+// gob encode runs on the checkpoint writer while the buffer keeps
+// accepting post-barrier work.
+func (b *Buffer) SnapshotState() (func(enc *gob.Encoder) error, error) {
 	b.mu.Lock()
 	var st bufferState
 	add := func(e temporal.Element) {
@@ -313,7 +315,18 @@ func (b *Buffer) SaveState(enc *gob.Encoder) error {
 		}
 	}
 	b.mu.Unlock()
-	return enc.Encode(st)
+	return func(enc *gob.Encoder) error { return enc.Encode(st) }, nil
+}
+
+// SaveState implements the ft.StateSaver contract. Unlike operator
+// SaveState it locks internally: Buffer has no ProcMu and the barrier
+// protocol never calls this on the hot path.
+func (b *Buffer) SaveState(enc *gob.Encoder) error {
+	fn, err := b.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return fn(enc)
 }
 
 // LoadState implements the ft.StateLoader contract.

@@ -43,9 +43,13 @@ type SweepArea interface {
 	// MemoryUsage returns the approximate footprint in bytes.
 	MemoryUsage() int
 	// Items returns a snapshot of every stored element, in unspecified
-	// order. Checkpointing serialises areas through it and restores them
-	// by re-Inserting — correct because area semantics are
-	// insertion-order independent.
+	// order. The returned slice MUST be freshly allocated — it must not
+	// alias the area's backing storage: the checkpoint layer's
+	// copy-on-write captures (ops SnapshotState) hold it across the
+	// barrier and serialise it on the background writer, concurrent with
+	// post-barrier Insert/Extract mutations. Checkpointing serialises
+	// areas through it and restores them by re-Inserting — correct
+	// because area semantics are insertion-order independent.
 	Items() []temporal.Element
 }
 

@@ -8,7 +8,7 @@
 //     (upstream too slow, or the scheduler is not running its task).
 //   - backpressured: frames arrive near-full AND the input buffer depth
 //     is rising — the operator cannot keep up with its producer.
-//   - checkpoint-bound: barrier alignment hold plus state encode
+//   - checkpoint-bound: barrier alignment hold plus snapshot capture
 //     dominate the observation window — the checkpoint cadence, not the
 //     data path, bounds throughput.
 //
@@ -35,7 +35,8 @@ const (
 // of constants.
 const (
 	// HoldFraction: an op is checkpoint-bound when alignment hold plus
-	// state encode occupy at least this fraction of the window.
+	// on-barrier snapshot capture occupy at least this fraction of the
+	// window.
 	HoldFraction = 0.25
 	// OccupancyFull: mean frame occupancy (relative to the configured
 	// frame size) at or above this counts as "frames arriving full".
@@ -150,7 +151,10 @@ func Attribute(in Input) Report {
 				s.haveDepth = true
 			}
 			s.depthLast = ev.B
-		case KindAlignHold, KindEncode:
+		case KindAlignHold, KindSnapshot:
+			// Barrier stall: alignment hold plus the on-barrier snapshot
+			// capture. KindEncode runs on the background writer now — it
+			// costs wall time off the hot path, not a stall.
 			s.holdNS += ev.B
 		}
 	}
@@ -227,7 +231,7 @@ func diagnose(st OpStats, sig map[string]*opSignals, windowNS int64, frameCap in
 	case d.HoldFrac >= HoldFraction:
 		d.Verdict = VerdictCheckpointBound
 		d.Severity = d.HoldFrac
-		d.Reason = fmt.Sprintf("barrier hold+encode occupy %.0f%% of the window (%.1fms of %.1fms)",
+		d.Reason = fmt.Sprintf("barrier hold+snapshot occupy %.0f%% of the window (%.1fms of %.1fms)",
 			d.HoldFrac*100, float64(windowNS)*d.HoldFrac/1e6, float64(windowNS)/1e6)
 	case depthRising && occFull && occN > 0:
 		growth := float64(d.DepthLast+1) / float64(d.DepthFirst+1)

@@ -76,17 +76,20 @@ func TestAttributeBackpressuredTopology(t *testing.T) {
 	}
 }
 
-// TestAttributeCheckpointBoundTopology: barrier alignment hold plus state
-// encode occupy well over HoldFraction of the window — the checkpoint
-// cadence, not the data path, bounds the group-by.
+// TestAttributeCheckpointBoundTopology: barrier alignment hold plus the
+// on-barrier snapshot capture occupy well over HoldFraction of the window
+// — the checkpoint cadence, not the data path, bounds the group-by. The
+// off-barrier KindEncode event deliberately does NOT count: it runs on
+// the background writer, not in the stall.
 func TestAttributeCheckpointBoundTopology(t *testing.T) {
 	in := flight.Input{
 		FrameCap: 64,
 		Events: []flight.Event{
 			{Seq: 1, WallNS: 1_000_000, Kind: flight.KindFrame, Op: "b.g", A: 10},
 			{Seq: 2, WallNS: 1_400_000, Kind: flight.KindAlignHold, Op: "g", A: 1, B: 300_000},
-			{Seq: 3, WallNS: 1_500_000, Kind: flight.KindEncode, Op: "g", A: 1, B: 100_000, C: 4096},
-			{Seq: 4, WallNS: 2_000_000, Kind: flight.KindFrame, Op: "b.g", A: 10},
+			{Seq: 3, WallNS: 1_450_000, Kind: flight.KindSnapshot, Op: "g", A: 1, B: 100_000},
+			{Seq: 4, WallNS: 1_500_000, Kind: flight.KindEncode, Op: "g", A: 1, B: 700_000, C: 4096},
+			{Seq: 5, WallNS: 2_000_000, Kind: flight.KindFrame, Op: "b.g", A: 10},
 		},
 		Ops: []flight.OpStats{
 			{Op: "src", QueueP99NS: 1_000, SvcP99NS: 1_000},

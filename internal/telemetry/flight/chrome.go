@@ -73,14 +73,14 @@ func chromeify(r *Recorder, ev Event) chromeEvent {
 		Args:     map[string]any{"seq": ev.Seq, "op": ev.Op},
 	}
 	switch ev.Kind {
-	case KindAlignHold, KindEncode, KindStoreWrite, KindRoundDone:
+	case KindAlignHold, KindSnapshot, KindEncode, KindStoreWrite, KindRoundDone:
 		// Duration-bearing phases: B is the ns duration ending at WallNS.
 		ce.Phase = "X"
 		ce.TS = float64(ev.WallNS-ev.B) / 1e3
 		ce.Dur = float64(ev.B) / 1e3
 		ce.Name = fmt.Sprintf("%s#%d", ev.Kind, ev.A)
 		ce.Args["round"] = ev.A
-		if ev.Kind == KindEncode || ev.Kind == KindStoreWrite {
+		if ev.Kind == KindSnapshot || ev.Kind == KindEncode || ev.Kind == KindStoreWrite {
 			ce.Args["bytes"] = ev.C
 		}
 		if ev.Kind == KindStoreWrite || ev.Kind == KindRoundDone {

@@ -44,7 +44,9 @@ const (
 	// KindAlignHold: a multi-input operator finished aligning a barrier.
 	// A = round ID, B = hold duration ns (first blocked input to release).
 	KindAlignHold
-	// KindEncode: one operator's state serialised for a checkpoint round.
+	// KindEncode: one operator's state serialised for a checkpoint round,
+	// on the Manager's background writer — off the barrier stall (see
+	// KindSnapshot for the on-barrier capture).
 	// A = round ID, B = encode duration ns, C = encoded bytes.
 	KindEncode
 	// KindStoreWrite: a checkpoint round written to the store.
@@ -62,6 +64,13 @@ const (
 	// KindSteal: a scheduler worker stole a task activation.
 	// A = thief worker, B = victim worker.
 	KindSteal
+	// KindSnapshot: one operator's state captured at barrier alignment —
+	// the copy-on-write handle grab (or, in legacy on-barrier mode, the
+	// full encode). This is the per-operator barrier stall; KindEncode is
+	// the off-barrier serialisation of the captured handle.
+	// A = round ID, B = capture duration ns, C = encoded bytes (0 when the
+	// encode happens off-barrier).
+	KindSnapshot
 )
 
 // String renders the kind for exports and logs.
@@ -87,6 +96,8 @@ func (k Kind) String() string {
 		return "shed"
 	case KindSteal:
 		return "steal"
+	case KindSnapshot:
+		return "snapshot"
 	}
 	return "unknown"
 }
@@ -153,6 +164,7 @@ type Recorder struct {
 	// instrumentation sites stay one-liners. Exported as
 	// pipes_checkpoint_round_phase_ns{phase=...}.
 	alignHist  *telemetry.Histogram
+	snapHist   *telemetry.Histogram
 	encodeHist *telemetry.Histogram
 	writeHist  *telemetry.Histogram
 }
@@ -175,6 +187,7 @@ func New(size int) *Recorder {
 		slots:      make([]slot, n),
 		refs:       make(map[string]*OpRef),
 		alignHist:  telemetry.NewHistogram(),
+		snapHist:   telemetry.NewHistogram(),
 		encodeHist: telemetry.NewHistogram(),
 		writeHist:  telemetry.NewHistogram(),
 	}
@@ -200,9 +213,10 @@ func (r *Recorder) NowNS() int64 {
 }
 
 // PhaseHistograms returns the checkpoint round phase histograms
-// (alignment hold, state encode, store write), for registry export.
-func (r *Recorder) PhaseHistograms() (align, encode, write *telemetry.Histogram) {
-	return r.alignHist, r.encodeHist, r.writeHist
+// (alignment hold, on-barrier snapshot capture, off-barrier state encode,
+// store write), for registry export.
+func (r *Recorder) PhaseHistograms() (align, snapshot, encode, write *telemetry.Histogram) {
+	return r.alignHist, r.snapHist, r.encodeHist, r.writeHist
 }
 
 // Ref interns name and returns its operator handle. Idempotent; the
@@ -258,6 +272,8 @@ func (r *Recorder) record(op *OpRef, k Kind, wall, a, b, c int64) {
 	switch k {
 	case KindAlignHold:
 		r.alignHist.Observe(b)
+	case KindSnapshot:
+		r.snapHist.Observe(b)
 	case KindEncode:
 		r.encodeHist.Observe(b)
 	case KindStoreWrite:

@@ -114,12 +114,13 @@ func TestPhaseHistogramsFedByBarrierKinds(t *testing.T) {
 	rec := flight.New(256)
 	op := rec.Ref("j")
 	op.Phase(flight.KindAlignHold, 1, 1000, 0)
+	op.Phase(flight.KindSnapshot, 1, 1500, 0)
 	op.Phase(flight.KindEncode, 1, 2000, 64)
 	op.Phase(flight.KindStoreWrite, 1, 3000, 64)
 	op.Phase(flight.KindGateReplay, 1, 5, 0) // not a phase histogram kind
-	align, encode, write := rec.PhaseHistograms()
+	align, snapshot, encode, write := rec.PhaseHistograms()
 	for name, h := range map[string]interface{ Count() uint64 }{
-		"align": align, "encode": encode, "write": write,
+		"align": align, "snapshot": snapshot, "encode": encode, "write": write,
 	} {
 		if h.Count() != 1 {
 			t.Errorf("%s histogram count = %d, want 1", name, h.Count())

@@ -136,6 +136,12 @@ type Config struct {
 	// dir with interval 0 enables on-demand checkpoints only
 	// (Checkpoints.Trigger).
 	CheckpointDir string
+	// CheckpointBaseEvery sets the full-base cadence of the incremental
+	// checkpoint chain: one full snapshot every K sealed rounds, binary
+	// deltas against the previous round in between (0 = the ft default; 1
+	// = every round full, chains disabled). See FAULT_TOLERANCE.md's
+	// delta-chain section.
+	CheckpointBaseEvery int
 	// FlightEvents sizes the flight recorder's system-event ring (0 =
 	// default 4096 events, rounded up to a power of two). The recorder is
 	// always on — see internal/telemetry/flight and OBSERVABILITY.md —

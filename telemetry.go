@@ -148,9 +148,9 @@ func (d *DSMS) registerExports() {
 					c.Histogram("pipes_edge_queue_depth", lb, h)
 				}
 			}
-			align, encode, write := d.Flight.PhaseHistograms()
+			align, snapshot, encode, write := d.Flight.PhaseHistograms()
 			for phase, h := range map[string]*telemetry.Histogram{
-				"align": align, "encode": encode, "write": write,
+				"align": align, "snapshot": snapshot, "encode": encode, "write": write,
 			} {
 				if h.Count() > 0 {
 					c.Histogram("pipes_checkpoint_round_phase_ns", telemetry.Labels{"phase": phase}, h)
