@@ -9,14 +9,54 @@
 // Each analyzer can be toggled with the usual vet flags, e.g.
 // `-lockorder=false`. See STATIC_ANALYSIS.md for the rules the suite
 // enforces and how to add a new analyzer.
+//
+// Invoked directly with -json (not under go vet), pipesvet switches to a
+// standalone in-process driver:
+//
+//	pipesvet -json ./internal/... ./examples/...
+//
+// which loads the named packages offline and emits one machine-readable
+// report — {file, line, analyzer, message} per finding plus the number of
+// diagnostics suppressed by //pipesvet:allow directives across the run, a
+// figure the per-package unitchecker protocol cannot aggregate. The
+// default (no -json, or driven by go vet) output path is untouched: it is
+// the unitchecker's, byte for byte.
 package main
 
 import (
+	"os"
+	"strings"
+
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	pipesanalysis "pipes/internal/analysis"
 )
 
 func main() {
+	if patterns, ok := standaloneArgs(os.Args[1:]); ok {
+		os.Exit(runStandalone(patterns))
+	}
 	unitchecker.Main(pipesanalysis.Analyzers()...)
+}
+
+// standaloneArgs reports whether the invocation requests the standalone
+// -json driver, returning the package patterns if so. Under go vet the
+// tool is invoked with the unitchecker protocol — a -V=full version
+// probe, a -flags probe, or a *.cfg unit file (possibly alongside
+// analyzer flags such as -json=true) — and those invocations must reach
+// unitchecker.Main untouched even when -json appears among them.
+func standaloneArgs(args []string) ([]string, bool) {
+	jsonMode := false
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg"):
+			return nil, false
+		case a == "-json" || a == "--json" || a == "-json=true":
+			jsonMode = true
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	return patterns, jsonMode
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -42,7 +43,7 @@ func TestVettoolEndToEnd(t *testing.T) {
 	}
 
 	counts := countDiagnostics(t, out)
-	want := []string{"hotpathclock", "lockorder", "nogoroutine", "sealedsub", "traceslot"}
+	want := []string{"atomicmix", "frameborrow", "hotpathclock", "lockorder", "nogoroutine", "sealedsub", "snapshotclosure", "traceslot"}
 	for _, name := range want {
 		if counts[name] != 1 {
 			t.Errorf("analyzer %s fired %d times, want exactly 1\noutput:\n%s",
@@ -110,7 +111,8 @@ func writeFixtureModule(t *testing.T, dir string) {
 		"go.mod": "module vetfixture\n\ngo 1.24\n",
 
 		// temporal stub: traceslot matches Element literals and
-		// NewElement calls by package-path suffix.
+		// NewElement calls by package-path suffix; frameborrow matches the
+		// Batch type the same way.
 		"temporal/temporal.go": `package temporal
 
 type Interval struct{ Start, End int64 }
@@ -120,6 +122,8 @@ type Element struct {
 	Interval
 	Trace any
 }
+
+type Batch []Element
 
 func NewElement(value any, start, end int64) Element {
 	return Element{Value: value, Interval: Interval{start, end}}
@@ -138,14 +142,25 @@ func Derive(value any, iv Interval, from ...Element) Element {
 `,
 
 		// sched stub: sealedsub keys on a Scheduler type in a package
-		// whose path ends in /sched.
+		// whose path ends in /sched; the package also carries the seeded
+		// atomicmix violation (a plain read of an atomically-updated word).
 		"sched/sched.go": `package sched
+
+import "sync/atomic"
 
 type Scheduler struct{ started bool }
 
 func New() *Scheduler           { return &Scheduler{} }
 func (s *Scheduler) Start()     { s.started = true }
 func (s *Scheduler) Add(n any)  {}
+
+var active int64
+
+func Enter() { atomic.AddInt64(&active, 1) }
+
+// Pending carries the seeded atomicmix violation: a plain read racing
+// with the atomic increments above.
+func Pending() int64 { return active }
 `,
 
 		// ops: one traceslot violation, one hotpathclock violation, one
@@ -159,7 +174,10 @@ import (
 	"vetfixture/temporal"
 )
 
-type Map struct{ out []temporal.Element }
+type Map struct {
+	out   []temporal.Element
+	frame temporal.Batch
+}
 
 // Process is a hot root: the raw time.Now inside is the seeded
 // hotpathclock violation.
@@ -171,9 +189,28 @@ func (m *Map) Process(e temporal.Element, _ int) {
 	m.out = append(m.out, temporal.Derive(e.Value, e.Interval, e))
 }
 
-// Spawn carries the seeded nogoroutine violation.
+// ProcessBatch carries the seeded frameborrow violation: the borrowed
+// frame's header is retained past the call. The spread append below it is
+// the sanctioned copy, proving the negative.
+func (m *Map) ProcessBatch(b temporal.Batch, _ int) {
+	m.frame = b
+	m.out = append(m.out, b...)
+}
+
+// Spawn carries the seeded nogoroutine violation; the suppressed second
+// launch feeds the allow-suppression count the -json report surfaces.
 func (m *Map) Spawn() {
 	go func() {}()
+	//pipesvet:allow nogoroutine fixture: reviewed hand-off launch proving suppression is counted
+	go func() {}()
+}
+
+// Window carries the seeded snapshotclosure violation: the returned
+// closure reads receiver state off-barrier instead of a captured copy.
+type Window struct{ q []temporal.Element }
+
+func (w *Window) SnapshotState() (func() []temporal.Element, error) {
+	return func() []temporal.Element { return w.q }, nil
 }
 `,
 
@@ -217,5 +254,76 @@ func Wire() {
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestStandaloneJSON covers the direct `pipesvet -json <patterns>`
+// invocation: the in-process driver must find the same seeded violations
+// as the vettool path, emit them in the machine-readable schema, count
+// allow-suppressed findings, and exit 1.
+func TestStandaloneJSON(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	tmp := t.TempDir()
+
+	vettool := filepath.Join(tmp, "pipesvet")
+	build := exec.Command("go", "build", "-o", vettool, "pipes/cmd/pipesvet")
+	build.Env = offlineEnv()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pipesvet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "vetfixture")
+	writeFixtureModule(t, mod)
+
+	cmd := exec.Command(vettool, "-json", "./...")
+	cmd.Dir = mod
+	cmd.Env = offlineEnv()
+	out, err := cmd.Output()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("pipesvet -json: want exit status 1 (diagnostics found), got err=%v\nstdout:\n%s", err, out)
+	}
+
+	var report struct {
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		AllowSuppressed int `json:"allowSuppressed"`
+	}
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("parsing -json report: %v\n%s", err, out)
+	}
+
+	counts := map[string]int{}
+	for _, d := range report.Diagnostics {
+		counts[d.Analyzer]++
+		if d.File == "" || filepath.IsAbs(d.File) {
+			t.Errorf("diagnostic file %q: want a module-relative path", d.File)
+		}
+		if d.Line <= 0 {
+			t.Errorf("diagnostic %s at %s: non-positive line %d", d.Analyzer, d.File, d.Line)
+		}
+		if d.Message == "" {
+			t.Errorf("diagnostic %s at %s:%d has an empty message", d.Analyzer, d.File, d.Line)
+		}
+	}
+	want := []string{"atomicmix", "frameborrow", "hotpathclock", "lockorder", "nogoroutine", "sealedsub", "snapshotclosure", "traceslot"}
+	for _, name := range want {
+		if counts[name] != 1 {
+			t.Errorf("analyzer %s fired %d times in -json mode, want exactly 1\noutput:\n%s", name, counts[name], out)
+		}
+	}
+	if len(report.Diagnostics) != len(want) {
+		t.Errorf("got %d diagnostics, want %d\noutput:\n%s", len(report.Diagnostics), len(want), out)
+	}
+	// The fixture suppresses one goroutine launch with a reasoned allow
+	// directive; the aggregate must see it.
+	if report.AllowSuppressed < 1 {
+		t.Errorf("allowSuppressed = %d, want >= 1\noutput:\n%s", report.AllowSuppressed, out)
 	}
 }

@@ -1,0 +1,361 @@
+// Standalone -json mode: an in-process driver that loads packages with
+// the source importer (fully offline — the same loading strategy as
+// internal/analysis/analyzertest), runs the whole suite, and emits one
+// machine-readable report. The unitchecker cannot provide this: go vet
+// runs one tool process per package, so per-run aggregates like the
+// allow-suppression count die with each unit.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	pipesanalysis "pipes/internal/analysis"
+	"pipes/internal/analysis/vetutil"
+)
+
+// jsonDiagnostic is one finding in the -json report.
+type jsonDiagnostic struct {
+	File     string `json:"file"` // module-root-relative path
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	// AllowSuppressed counts findings silenced by //pipesvet:allow
+	// directives across the whole run: a rising count with a flat
+	// diagnostic count is suppression creep.
+	AllowSuppressed int `json:"allowSuppressed"`
+}
+
+// runStandalone loads the packages named by patterns (directories or
+// dir/... wildcards, default ./...), runs every analyzer in-process, and
+// prints the JSON report. Exit status 1 when diagnostics were found, 2 on
+// driver errors — mirroring vet.
+func runStandalone(patterns []string) int {
+	root, modPath, replaces, err := readModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipesvet:", err)
+		return 2
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipesvet:", err)
+		return 2
+	}
+
+	l := newSrcLoader(root, modPath, replaces)
+	report := jsonReport{Diagnostics: []jsonDiagnostic{}}
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipesvet: %s: %v\n", dir, err)
+			return 2
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		for _, a := range pipesanalysis.Analyzers() {
+			_, diags, err := runPass(l.fset, a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pipesvet: %s: %s: %v\n", dir, a.Name, err)
+				return 2
+			}
+			for _, d := range diags {
+				p := l.fset.Position(d.Pos)
+				file := p.Filename
+				if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = filepath.ToSlash(rel)
+				}
+				report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+					File:     file,
+					Line:     p.Line,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	report.AllowSuppressed = vetutil.SuppressedHits()
+	sort.Slice(report.Diagnostics, func(i, j int) bool {
+		a, b := report.Diagnostics[i], report.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "pipesvet:", err)
+		return 2
+	}
+	if len(report.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// readModule locates the enclosing go.mod and returns the module root,
+// module path, and any filesystem replace directives (import-path prefix
+// -> absolute directory). Only the two directive shapes the repo uses are
+// parsed: `module <path>` and `replace <old> => <local dir>`.
+func readModule() (root, modPath string, replaces map[string]string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", nil, err
+	}
+	for {
+		if _, statErr := os.Stat(filepath.Join(dir, "go.mod")); statErr == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", nil, fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", "", nil, err
+	}
+	replaces = map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) >= 2 && fields[0] == "module":
+			modPath = fields[1]
+		case len(fields) >= 4 && fields[0] == "replace" && fields[2] == "=>" && strings.HasPrefix(fields[3], "."):
+			replaces[fields[1]] = filepath.Join(dir, filepath.FromSlash(fields[3]))
+		}
+	}
+	if modPath == "" {
+		return "", "", nil, fmt.Errorf("no module directive in %s", filepath.Join(dir, "go.mod"))
+	}
+	return dir, modPath, replaces, nil
+}
+
+// expandPatterns resolves directory arguments, expanding trailing /...
+// wildcards; testdata, third_party and dot-directories are skipped, as in
+// the go tool's package matching.
+func expandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, wild := strings.CutSuffix(pat, "...")
+		base = filepath.Clean(base)
+		if !wild {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "third_party" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// loadedPkg is one typechecked package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// srcLoader typechecks packages offline: module-local import paths map to
+// directories under the module root (following local replace directives),
+// everything else resolves from $GOROOT/src via the source importer.
+type srcLoader struct {
+	fset     *token.FileSet
+	std      types.Importer
+	root     string
+	modPath  string
+	replaces map[string]string
+	cache    map[string]*loadedPkg // keyed by directory
+}
+
+func newSrcLoader(root, modPath string, replaces map[string]string) *srcLoader {
+	l := &srcLoader{
+		fset:     token.NewFileSet(),
+		root:     root,
+		modPath:  modPath,
+		replaces: replaces,
+		cache:    map[string]*loadedPkg{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer.
+func (l *srcLoader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.localDir(path); ok {
+		p, err := l.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// localDir maps an import path to a module-local directory, or reports
+// that the path is external.
+func (l *srcLoader) localDir(path string) (string, bool) {
+	if path == l.modPath {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	for old, dir := range l.replaces {
+		if path == old {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, old+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+// loadDir typechecks the package in dir under its module import path.
+func (l *srcLoader) loadDir(dir string) (*loadedPkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s is outside module %s", dir, l.modPath)
+	}
+	path := l.modPath
+	if rel != "." {
+		path = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(abs, path)
+}
+
+// load parses and typechecks the non-test Go files in dir. A nil result
+// with nil error means the directory holds no non-test Go files.
+func (l *srcLoader) load(dir, path string) (*loadedPkg, error) {
+	if p, ok := l.cache[dir]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.cache[dir] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.cache[dir] = p
+	return p, nil
+}
+
+// runPass applies a (and its Requires closure) to pkg in-process,
+// returning a's result and diagnostics (prerequisite diagnostics are
+// discarded, as under the unitchecker).
+func runPass(fset *token.FileSet, a *analysis.Analyzer, pkg *loadedPkg) (any, []analysis.Diagnostic, error) {
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, req := range a.Requires {
+		res, _, err := runPass(fset, req, pkg)
+		if err != nil {
+			return nil, nil, err
+		}
+		resultOf[req] = res
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             pkg.files,
+		Pkg:               pkg.pkg,
+		TypesInfo:         pkg.info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          resultOf,
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, diags, nil
+}

@@ -9,20 +9,26 @@ package analysis
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"pipes/internal/analysis/atomicmix"
+	"pipes/internal/analysis/frameborrow"
 	"pipes/internal/analysis/hotpathclock"
 	"pipes/internal/analysis/lockorder"
 	"pipes/internal/analysis/nogoroutine"
 	"pipes/internal/analysis/sealedsub"
+	"pipes/internal/analysis/snapshotclosure"
 	"pipes/internal/analysis/traceslot"
 )
 
 // Analyzers returns the full pipesvet suite in a stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		frameborrow.Analyzer,
 		hotpathclock.Analyzer,
 		lockorder.Analyzer,
 		nogoroutine.Analyzer,
 		sealedsub.Analyzer,
+		snapshotclosure.Analyzer,
 		traceslot.Analyzer,
 	}
 }

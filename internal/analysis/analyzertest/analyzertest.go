@@ -175,7 +175,11 @@ type want struct {
 	hit  bool
 }
 
-var wantRE = regexp.MustCompile("// want `([^`]+)`")
+// wantRE matches expectations in line comments (`// want`) and block
+// comments (`/* want ... */`). The block form exists for lines whose
+// diagnostic is reported *on a comment* — an allow directive with no
+// reason text, say — where a trailing line comment cannot follow.
+var wantRE = regexp.MustCompile("(?://|/\\*) want `([^`]+)`")
 
 func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
 	t.Helper()

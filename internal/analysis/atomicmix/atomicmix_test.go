@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"pipes/internal/analysis/analyzertest"
+	"pipes/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analyzertest.Run(t, "testdata", atomicmix.Analyzer, "sched", "other")
+}

@@ -1,0 +1,10 @@
+// Package other is outside the atomicmix scope: mixed access here is some
+// other layer's concern.
+package other
+
+import "sync/atomic"
+
+type c struct{ n int64 }
+
+func (x *c) bump()       { atomic.AddInt64(&x.n, 1) }
+func (x *c) read() int64 { return x.n } // out of scope: no diagnostic

@@ -1,0 +1,81 @@
+// Package sched exercises the atomicmix contract: once a word is accessed
+// through sync/atomic anywhere in the package, every access must be.
+package sched
+
+import "sync/atomic"
+
+var inflight int64
+
+type counter struct {
+	hits  int64 // atomically accessed below
+	clean int64 // never atomic: plain access is this field's discipline
+}
+
+func (c *counter) bump()       { atomic.AddInt64(&c.hits, 1) }
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.hits) }
+
+func enter() { atomic.AddInt64(&inflight, 1) }
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want `hits mixes sync/atomic and plain access`
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want `hits mixes sync/atomic and plain access`
+}
+
+func (c *counter) racyIncrement() {
+	c.hits++ // want `hits mixes sync/atomic and plain access`
+}
+
+func newCounter() *counter {
+	// Composite-literal initialisation is a plain write too: safe only
+	// until the first concurrent access, and invisible in a refactor.
+	return &counter{hits: 1} // want `hits mixes sync/atomic and plain access`
+}
+
+func drain() int64 {
+	return inflight // want `inflight mixes sync/atomic and plain access`
+}
+
+func (c *counter) plainIsFine() int64 {
+	c.clean++
+	return c.clean
+}
+
+func (c *counter) reviewed() int64 {
+	//pipesvet:allow atomicmix fixture exercises the single-owner-phase escape hatch
+	return c.hits
+}
+
+// --- typed atomics: the discipline the analyzer pushes toward ---
+
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) ok() int64 {
+	g.v.Store(1)
+	g.v.Add(2)
+	return g.v.Load()
+}
+
+func (g *gauge) bypassCopy() int64 {
+	cp := g.v // want `assignment copies an atomic value`
+	return cp.Load()
+}
+
+func (g *gauge) bypassOverwrite(other *gauge) {
+	g.v = other.v // want `assignment copies an atomic value`
+}
+
+func bypassVar(g *gauge) int64 {
+	var cp = g.v // want `initialiser copies an atomic value`
+	return cp.Load()
+}
+
+func pointerIsFine(g *gauge) *atomic.Int64 {
+	p := &g.v
+	p.Add(1)
+	return p
+}

@@ -1,0 +1,286 @@
+// Package frameborrow enforces the temporal.Batch borrow ownership rule
+// (SEMANTICS.md §3.7): a frame received as a parameter is only borrowed
+// for the duration of the call. The subscriber may read it and forward it
+// further downstream synchronously, but the producer reuses the backing
+// array as scratch for its next frame the moment the publishing
+// TransferBatch returns — so retaining the slice, a subslice, or a
+// pointer to an element past the call is a use-after-reuse data race that
+// the scalar-vs-batch differential harness can only catch probabilistically
+// (a stress schedule has to overwrite the retained storage before the
+// snapshot oracle looks).
+//
+// In the frame-handling packages the analyzer treats every parameter of
+// type temporal.Batch as borrowed and flags, within the function body:
+//
+//   - storing the parameter, a subslice of it, or any local alias of
+//     either into a struct field, an element of a field, or a
+//     package-level variable;
+//   - storing a pointer to a frame element (&b[i]) the same way;
+//   - capturing an alias inside a function literal that escapes the call
+//     (returned, or stored into a field or package-level variable).
+//
+// Copies do not propagate the taint: `append(dst, b...)` aliases dst, not
+// b, so the idiomatic per-operator scratch compaction
+// (`o.scratch = append(o.scratch[:0], b...)`) and the Buffer's free-list
+// copy at enqueue are both clean. Forwarding the frame to another call
+// (`s.TransferBatch(b)`, `sink.ProcessBatch(b, i)`) is clean too: the
+// borrow nests through synchronous hops.
+package frameborrow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"pipes/internal/analysis/vetutil"
+)
+
+// name is the analyzer name used in diagnostics and allow directives.
+const name = "frameborrow"
+
+// Analyzer is the frameborrow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "flags temporal.Batch frame storage retained past the borrowing call (SEMANTICS.md §3.7): frames must be copied, not kept",
+	Run:  run,
+}
+
+func init() { vetutil.RegisterAnalyzer(name) }
+
+// scope is where frames are consumed and forwarded: the vectorized
+// operators, the checkpoint taps, the pubsub batch lane and the telemetry
+// decorators. metadata is included alongside the issue's four because the
+// Monitored decorator is a frame subscriber on every monitored edge.
+var scope = []string{"ops", "ft", "pubsub", "telemetry", "flight", "metadata", "aggregate"}
+
+func run(pass *analysis.Pass) (any, error) {
+	allow := vetutil.NewAllower(pass, name) // before the scope check: directive misuse is validated everywhere
+	if !vetutil.InScope(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	for _, f := range vetutil.SourceFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, allow, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isBatchType reports whether t is the temporal.Batch named slice type.
+func isBatchType(t types.Type) bool {
+	named := vetutil.NamedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Name() == "Batch" &&
+		vetutil.InScope(named.Obj().Pkg().Path(), "temporal")
+}
+
+// checkFunc analyzes one function whose parameters may include borrowed
+// frames.
+func checkFunc(pass *analysis.Pass, allow *vetutil.Allower, fd *ast.FuncDecl) {
+	// borrowed is the may-alias set: objects that may share the borrowed
+	// frame's backing storage (the Batch parameters themselves plus local
+	// variables assigned from them, transitively, including element
+	// pointers taken with &b[i]).
+	borrowed := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, pname := range field.Names {
+			obj := pass.TypesInfo.Defs[pname]
+			if obj != nil && isBatchType(obj.Type()) {
+				borrowed[obj] = true
+			}
+		}
+	}
+	if len(borrowed) == 0 {
+		return
+	}
+
+	info := pass.TypesInfo
+
+	// aliases reports whether e may reference the borrowed backing array:
+	// the parameter itself, a slice of it, an append whose destination is
+	// an alias (append only copies the *appended* elements), or a pointer
+	// into it. Index expressions (b[i]) are element value copies and do
+	// not alias.
+	var aliases func(e ast.Expr) bool
+	aliases = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return borrowed[info.Uses[e]]
+		case *ast.SliceExpr:
+			return aliases(e.X)
+		case *ast.UnaryExpr:
+			// &b[i]: a pointer into the frame's backing array.
+			if e.Op.String() == "&" {
+				if ix, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok {
+					return aliases(ix.X)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			// append(dst, src...)'s result aliases dst — the spread copies
+			// *elements*, which is exactly the sanctioned compaction. But
+			// append(frames, b) without the spread stores the slice header
+			// itself, so non-ellipsis appended arguments taint the result.
+			// Conversions (temporal.Batch(x)) alias their operand.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+				if aliases(e.Args[0]) {
+					return true
+				}
+				if e.Ellipsis == token.NoPos {
+					for _, a := range e.Args[1:] {
+						if aliases(a) {
+							return true
+						}
+					}
+				}
+				return false
+			}
+			if len(e.Args) == 1 {
+				if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+					return aliases(e.Args[0])
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+
+	// Grow the may-alias set to a fixpoint over local assignments: the
+	// set is flow-insensitive (a variable ever assigned an alias stays
+	// tainted), which over-approximates loops and conditional paths — the
+	// safe direction for a use-after-reuse rule.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break // multi-value RHS: calls never return borrows here
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !aliases(as.Rhs[i]) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !borrowed[obj] {
+					borrowed[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// escapes reports whether storing into lhs retains the value past the
+	// call: a struct field (through any base), an element or subslice of
+	// one, or a package-level variable. Writes to plain locals are the
+	// alias propagation handled above.
+	var escapes func(lhs ast.Expr) bool
+	escapes = func(lhs ast.Expr) bool {
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+				return true
+			}
+			// Qualified package-level var (pkg.Var).
+			if v, ok := info.Uses[lhs.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return true
+			}
+			return false
+		case *ast.IndexExpr:
+			return escapes(lhs.X)
+		case *ast.StarExpr:
+			// *p = b where p points outside the frame: conservatively only
+			// flagged when p itself is a field or package var.
+			return escapes(lhs.X)
+		case *ast.Ident:
+			v, ok := info.Uses[lhs].(*types.Var)
+			return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+		default:
+			return false
+		}
+	}
+
+	report := func(n ast.Node, what string) {
+		if allow.Allowed(n.Pos()) {
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"%s retains the borrowed frame's backing storage past the call: the producer reuses it after TransferBatch returns — copy the elements you keep (append into owned scratch) or mark a reviewed exception (SEMANTICS.md §3.7)",
+			what)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if aliases(n.Rhs[i]) && escapes(lhs) {
+					report(n, "storing a temporal.Batch view")
+				}
+			}
+		case *ast.CompositeLit:
+			// queued{b: own} style literals: a field initialised with an
+			// alias escapes when the literal itself is stored — flagging
+			// the literal element directly is the conservative whole.
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if aliases(kv.Value) {
+					report(kv, "building a value that embeds a temporal.Batch view")
+				}
+			}
+		}
+		return true
+	})
+
+	// Escaping closures: find func literals that capture an alias and are
+	// returned or stored into escaping locations.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var lits []ast.Expr
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			lits = n.Results
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) && escapes(lhs) {
+					lits = append(lits, n.Rhs[i])
+				}
+			}
+		default:
+			return true
+		}
+		for _, e := range lits {
+			fl, ok := ast.Unparen(e).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fl.Body, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok || !borrowed[info.Uses[id]] {
+					return true
+				}
+				report(id, "a closure escaping the call captures a temporal.Batch view and")
+				return true
+			})
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+// Package allowdir exercises the allow-directive validation NewAllower
+// performs before any scope check: the package is outside every
+// analyzer's scope, yet malformed directives are still reported.
+package allowdir
+
+/* want `names no analyzer` */ //pipesvet:allow
+var a int
+
+/* want `unknown analyzer "frameborow"` */ //pipesvet:allow frameborow typo in the analyzer name does not suppress anything
+var b int
+
+/* want `has no reason text` */ //pipesvet:allow frameborrow
+var c int
+
+//pipesvet:allow frameborrow a well-formed directive with a reason is recorded silently
+var d int

@@ -1,0 +1,113 @@
+// Package ops exercises the frameborrow contract: a temporal.Batch
+// parameter is borrowed for the duration of the call, so nothing that
+// aliases its backing array may outlive the call.
+package ops
+
+import "temporal"
+
+var lastFrame temporal.Batch
+
+type keeper struct {
+	frame   temporal.Batch
+	scratch temporal.Batch
+	first   *temporal.Element
+	pending []temporal.Batch
+	hook    func() temporal.Element
+	next    sink
+}
+
+type sink interface {
+	ProcessBatch(b temporal.Batch, input int)
+}
+
+func (k *keeper) ProcessBatch(b temporal.Batch, input int) {
+	k.frame = b // want `retains the borrowed frame`
+}
+
+func (k *keeper) keepSubslice(b temporal.Batch) {
+	k.frame = b[:1] // want `retains the borrowed frame`
+}
+
+func (k *keeper) keepThroughAlias(b temporal.Batch) {
+	view := b[1:]
+	k.frame = view // want `retains the borrowed frame`
+}
+
+func (k *keeper) keepElementPointer(b temporal.Batch) {
+	k.first = &b[0] // want `retains the borrowed frame`
+}
+
+func (k *keeper) keepInPackageVar(b temporal.Batch) {
+	lastFrame = b // want `retains the borrowed frame`
+}
+
+func (k *keeper) keepHeaderInQueue(b temporal.Batch) {
+	// No spread: this appends the slice header itself, not copies of the
+	// elements.
+	k.pending = append(k.pending, b) // want `retains the borrowed frame`
+}
+
+func (k *keeper) keepViaEscapingClosure(b temporal.Batch) {
+	k.hook = func() temporal.Element { return b[0] } // want `retains the borrowed frame`
+}
+
+func holdInReturnedClosure(b temporal.Batch) func() temporal.Element {
+	return func() temporal.Element { return b[0] } // want `retains the borrowed frame`
+}
+
+// --- clean patterns below: no diagnostics expected ---
+
+// compact is the sanctioned scratch pattern: the spread copies elements
+// into storage the operator owns.
+func (k *keeper) compact(b temporal.Batch, input int) {
+	out := k.scratch[:0]
+	for _, e := range b {
+		if e.Value != nil {
+			out = append(out, e)
+		}
+	}
+	k.scratch = out
+	k.next.ProcessBatch(out, input)
+}
+
+// copySpread copies the whole frame in one append.
+func (k *keeper) copySpread(b temporal.Batch) {
+	k.scratch = append(k.scratch[:0], b...)
+}
+
+// explicitCopy uses copy into a fresh allocation.
+func (k *keeper) explicitCopy(b temporal.Batch) {
+	dst := make(temporal.Batch, len(b))
+	copy(dst, b)
+	k.frame = dst
+}
+
+// forward passes the borrow through a synchronous hop: the borrow nests.
+func (k *keeper) forward(b temporal.Batch, input int) {
+	k.next.ProcessBatch(b, input)
+}
+
+// localOnly reads through an alias that dies with the call.
+func (k *keeper) localOnly(b temporal.Batch) int {
+	view := b[1:]
+	return len(view)
+}
+
+// elementValue copies one element by value: Element is not a view.
+func (k *keeper) elementValue(b temporal.Batch) {
+	e := b[0]
+	k.scratch = append(k.scratch, e)
+}
+
+// reviewed shows the escape hatch for an audited retention.
+func (k *keeper) reviewed(b temporal.Batch) {
+	//pipesvet:allow frameborrow fixture exercises the audited-retention escape hatch
+	k.frame = b
+}
+
+// unreasoned shows that a directive without reason text suppresses
+// nothing: both the directive and the retention are reported.
+func (k *keeper) unreasoned(b temporal.Batch) {
+	/* want `has no reason text` */ //pipesvet:allow frameborrow
+	k.frame = b                     // want `retains the borrowed frame`
+}

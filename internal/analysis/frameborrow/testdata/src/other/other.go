@@ -1,0 +1,11 @@
+// Package other is outside the frameborrow scope: retention here is some
+// other package's contract, not the frame borrow rule's.
+package other
+
+import "temporal"
+
+type cache struct{ last temporal.Batch }
+
+func (c *cache) Keep(b temporal.Batch) {
+	c.last = b // out of scope: no diagnostic
+}

@@ -1,0 +1,19 @@
+// Package temporal is a minimal stand-in for pipes/internal/temporal:
+// the analyzer matches it by package-path suffix.
+package temporal
+
+// Time is a discrete timestamp.
+type Time int64
+
+// Interval is a half-open validity interval.
+type Interval struct{ Start, End Time }
+
+// Element pairs a value with its validity interval.
+type Element struct {
+	Value any
+	Interval
+}
+
+// Batch is a frame of elements. A Batch received as a parameter is
+// borrowed: the producer reuses its backing array after the call returns.
+type Batch []Element

@@ -54,7 +54,10 @@ var hotRoots = map[string]bool{
 	"ProcessBatch": true, "TransferBatch": true,
 }
 
+func init() { vetutil.RegisterAnalyzer(name) }
+
 func run(pass *analysis.Pass) (any, error) {
+	allow := vetutil.NewAllower(pass, name) // before the scope check: directive misuse is validated everywhere
 	if !vetutil.InScope(pass.Pkg.Path(), scope...) {
 		return nil, nil
 	}
@@ -62,7 +65,6 @@ func run(pass *analysis.Pass) (any, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
-	allow := vetutil.NewAllower(pass, name)
 	graph := vetutil.NewCallGraph(pass)
 
 	var roots []*types.Func

@@ -95,12 +95,14 @@ type region struct {
 	cls      class
 }
 
+func init() { vetutil.RegisterAnalyzer(name) }
+
 func run(pass *analysis.Pass) (any, error) {
+	allow := vetutil.NewAllower(pass, name)
 	files := vetutil.SourceFiles(pass)
 	if len(files) == 0 {
 		return nil, nil
 	}
-	allow := vetutil.NewAllower(pass, name)
 	directives := directiveClasses(pass, files)
 
 	classify := func(sel *ast.SelectorExpr) (class, string) {

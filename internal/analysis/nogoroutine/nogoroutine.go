@@ -34,15 +34,17 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+func init() { vetutil.RegisterAnalyzer(name) }
+
 // scope: operator implementation packages. sched and telemetry are the
 // sanctioned concurrent machinery and deliberately absent.
 var scope = []string{"ops", "aggregate", "sweeparea", "pubsub", "ft"}
 
 func run(pass *analysis.Pass) (any, error) {
+	allow := vetutil.NewAllower(pass, name) // before the scope check: directive misuse is validated everywhere
 	if !vetutil.InScope(pass.Pkg.Path(), scope...) {
 		return nil, nil
 	}
-	allow := vetutil.NewAllower(pass, name)
 	const contract = "operators are single-owner; cross scheduling boundaries with a pubsub.Buffer task, not ad-hoc concurrency (CONCURRENCY.md)"
 
 	for _, f := range vetutil.SourceFiles(pass) {

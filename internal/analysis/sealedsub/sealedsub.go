@@ -39,12 +39,14 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+func init() { vetutil.RegisterAnalyzer(name) }
+
 func run(pass *analysis.Pass) (any, error) {
+	allow := vetutil.NewAllower(pass, name)
 	files := vetutil.SourceFiles(pass)
 	if len(files) == 0 {
 		return nil, nil
 	}
-	allow := vetutil.NewAllower(pass, name)
 
 	for _, f := range files {
 		for _, decl := range f.Decls {

@@ -1,0 +1,12 @@
+package snapshotclosure_test
+
+import (
+	"testing"
+
+	"pipes/internal/analysis/analyzertest"
+	"pipes/internal/analysis/snapshotclosure"
+)
+
+func TestSnapshotclosure(t *testing.T) {
+	analyzertest.Run(t, "testdata", snapshotclosure.Analyzer, "ops", "other")
+}

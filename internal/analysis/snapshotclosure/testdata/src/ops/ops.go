@@ -1,0 +1,116 @@
+// Package ops exercises the snapshotclosure contract: the encode closure
+// returned by SnapshotState runs off-barrier, so it may depend only on
+// copies captured in the method body.
+package ops
+
+import "encoding/gob"
+
+type liveJoin struct {
+	m map[int]string
+}
+
+// Bad: the closure reaches back into the receiver off-barrier.
+func (j *liveJoin) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	return func(enc *gob.Encoder) error {
+		return enc.Encode(j.m) // want `encode closure references the receiver`
+	}, nil
+}
+
+type headerWindow struct {
+	q     []int
+	byKey map[string][]int
+}
+
+// Bad: a map/slice header assignment is not a copy — st shares the
+// receiver's storage, and the named-closure indirection doesn't launder it.
+func (w *headerWindow) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	st := w.q
+	byKey := w.byKey
+	encode := func(enc *gob.Encoder) error {
+		err := enc.Encode(st) // want `references state aliased from the receiver`
+		if err != nil {
+			return err
+		}
+		return enc.Encode(byKey) // want `references state aliased from the receiver`
+	}
+	return encode, nil
+}
+
+type pointerOp struct {
+	count int
+}
+
+// Bad: a pointer into the receiver carries live state past the barrier
+// even though the field itself is a scalar.
+func (p *pointerOp) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	n := &p.count
+	return func(enc *gob.Encoder) error {
+		return enc.Encode(*n) // want `references state aliased from the receiver`
+	}, nil
+}
+
+type methodOp struct {
+	q []int
+}
+
+func (m *methodOp) flush() {}
+
+// Bad: calling any receiver method off-barrier is live-state access.
+func (m *methodOp) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	return func(enc *gob.Encoder) error {
+		m.flush() // want `encode closure references the receiver`
+		return nil
+	}, nil
+}
+
+// --- sanctioned patterns below: no diagnostics expected ---
+
+type goodOp struct {
+	q     []int
+	byKey map[string][]int
+	count int
+	area  area
+}
+
+type area struct{ items []int }
+
+// Items returns a copied view — the contract capture helpers satisfy.
+func (a *area) Items() []int {
+	out := make([]int, len(a.items))
+	copy(out, a.items)
+	return out
+}
+
+// Good: every value the closure uses is a copy made under the barrier.
+func (g *goodOp) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	q := append([]int(nil), g.q...)
+	byKey := make(map[string][]int, len(g.byKey))
+	for k, v := range g.byKey {
+		byKey[k] = append([]int(nil), v...)
+	}
+	n := g.count
+	items := g.area.Items()
+	return func(enc *gob.Encoder) error {
+		for _, v := range [][]int{q, items} {
+			if err := enc.Encode(v); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(byKey); err != nil {
+			return err
+		}
+		return enc.Encode(n)
+	}, nil
+}
+
+type reviewedOp struct {
+	frozen map[int]int
+}
+
+// Good: the escape hatch, with its mandatory reason.
+func (r *reviewedOp) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	return func(enc *gob.Encoder) error {
+		//pipesvet:allow snapshotclosure fixture: frozen is write-once before Start and never mutated
+		return enc.Encode(r.frozen)
+	}, nil
+}

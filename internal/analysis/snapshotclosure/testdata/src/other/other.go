@@ -1,0 +1,12 @@
+// Package other is outside the snapshotclosure scope.
+package other
+
+import "encoding/gob"
+
+type op struct{ m map[int]int }
+
+func (o *op) SnapshotState() (func(enc *gob.Encoder) error, error) {
+	return func(enc *gob.Encoder) error {
+		return enc.Encode(o.m) // out of scope: no diagnostic
+	}, nil
+}

@@ -39,6 +39,8 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+func init() { vetutil.RegisterAnalyzer(name) }
+
 // scope is where the contract applies: packages whose operators rewrite
 // elements. pubsub is in scope since the batch lane: the buffer and the
 // frame sources construct elements on the transfer path, where a
@@ -46,11 +48,11 @@ var Analyzer = &analysis.Analyzer{
 var scope = []string{"ops", "aggregate", "ft", "pubsub"}
 
 func run(pass *analysis.Pass) (any, error) {
+	allow := vetutil.NewAllower(pass, name) // before the scope check: directive misuse is validated everywhere
 	if !vetutil.InScope(pass.Pkg.Path(), scope...) {
 		return nil, nil
 	}
 	files := vetutil.SourceFiles(pass)
-	allow := vetutil.NewAllower(pass, name)
 
 	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -89,7 +89,7 @@ type FuncSink struct {
 	name   string
 	fn     func(e temporal.Element, input int)
 	onDone func()
-	open   int32
+	open   atomic.Int32
 }
 
 // NewFuncSink returns a sink calling fn per element and onDone (may be
@@ -98,7 +98,9 @@ func NewFuncSink(name string, inputs int, fn func(e temporal.Element, input int)
 	if inputs <= 0 {
 		panic("pubsub: func sink inputs must be positive")
 	}
-	return &FuncSink{name: name, fn: fn, onDone: onDone, open: int32(inputs)}
+	s := &FuncSink{name: name, fn: fn, onDone: onDone}
+	s.open.Store(int32(inputs))
+	return s
 }
 
 // Name implements Node.
@@ -109,7 +111,7 @@ func (s *FuncSink) Process(e temporal.Element, input int) { s.fn(e, input) }
 
 // Done implements Sink.
 func (s *FuncSink) Done(_ int) {
-	if atomic.AddInt32(&s.open, -1) == 0 && s.onDone != nil {
+	if s.open.Add(-1) == 0 && s.onDone != nil {
 		s.onDone()
 	}
 }

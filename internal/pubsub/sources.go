@@ -146,10 +146,10 @@ func (s *ChanSource) Run(ctx context.Context) error {
 	for {
 		//pipesvet:allow nogoroutine ChanSource is the sanctioned entry adapter between external producers and the graph
 		select {
-		case <-ctx.Done(): //pipesvet:allow nogoroutine sanctioned entry adapter
+		case <-ctx.Done(): //pipesvet:allow nogoroutine cancellation receive on the caller's pump goroutine, outside the operator graph
 			s.SignalDone()
 			return ctx.Err()
-		case e, ok := <-s.ch: //pipesvet:allow nogoroutine sanctioned entry adapter
+		case e, ok := <-s.ch: //pipesvet:allow nogoroutine external-producer receive on the caller's pump goroutine, outside the operator graph
 			if !ok {
 				s.SignalDone()
 				return nil
@@ -165,7 +165,7 @@ func (s *ChanSource) Run(ctx context.Context) error {
 func (s *ChanSource) EmitNext() bool {
 	//pipesvet:allow nogoroutine ChanSource poll path: non-blocking receive feeding the scheduler
 	select {
-	case e, ok := <-s.ch: //pipesvet:allow nogoroutine sanctioned entry adapter
+	case e, ok := <-s.ch: //pipesvet:allow nogoroutine non-blocking external-producer receive: the default case keeps the scheduler task from stalling
 		if !ok {
 			s.SignalDone()
 			return false
