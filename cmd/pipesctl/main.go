@@ -1,0 +1,297 @@
+// pipesctl is the tenant-side command line of the multi-tenant
+// continuous-query service (SERVICE.md): it submits CQL into a running
+// PIPES engine over the HTTP control plane, lists and inspects standing
+// queries, streams results and kills queries.
+//
+// Usage:
+//
+//	pipesctl -addr host:port -token TOKEN submit [-buffer BYTES] 'SELECT ...'
+//	pipesctl -addr host:port -token TOKEN list
+//	pipesctl -addr host:port -token TOKEN get QUERY
+//	pipesctl -addr host:port -token TOKEN results [-after N] [-max N] [-wait DUR] [-follow] QUERY
+//	pipesctl -addr host:port -token TOKEN kill QUERY
+//	pipesctl -addr host:port -token TOKEN tenant
+//
+// -addr and -token default to the PIPESCTL_ADDR and PIPESCTL_TOKEN
+// environment variables. Query documents print as indented JSON;
+// `results` prints one result value per line (JSON), with shed gaps
+// reported on stderr.
+//
+// Exit codes: 0 success, 1 request or server error, 2 usage error,
+// 3 admission rejected (a quota_* error — the one failure a tenant
+// script retries later rather than reports).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const (
+	exitOK    = 0
+	exitErr   = 1
+	exitUsage = 2
+	exitQuota = 3
+)
+
+// client carries the resolved connection parameters.
+type client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// apiError is the service's structured error document.
+type apiError struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Detail  map[string]any `json:"detail"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipesctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", os.Getenv("PIPESCTL_ADDR"), "service host:port (default $PIPESCTL_ADDR)")
+	token := fs.String("token", os.Getenv("PIPESCTL_TOKEN"), "tenant bearer token (default $PIPESCTL_TOKEN)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pipesctl -addr host:port -token TOKEN <submit|list|get|results|kill|tenant> [args]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+	if *addr == "" || *token == "" {
+		fmt.Fprintln(stderr, "pipesctl: -addr and -token are required (or PIPESCTL_ADDR / PIPESCTL_TOKEN)")
+		return exitUsage
+	}
+	c := &client{
+		base:  "http://" + strings.TrimPrefix(*addr, "http://"),
+		token: *token,
+		http:  &http.Client{Timeout: *timeout},
+	}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return cmdSubmit(c, rest, stdout, stderr)
+	case "list":
+		return cmdList(c, rest, stdout, stderr)
+	case "get":
+		return cmdGet(c, rest, stdout, stderr)
+	case "results":
+		return cmdResults(c, rest, stdout, stderr)
+	case "kill":
+		return cmdKill(c, rest, stdout, stderr)
+	case "tenant":
+		return cmdTenant(c, rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "pipesctl: unknown command %q\n", cmd)
+		return exitUsage
+	}
+}
+
+// do issues one request. A service error document becomes (nil, code,
+// *apiError); transport failures return err.
+func (c *client) do(method, path string, body any) (json.RawMessage, int, *apiError, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var env struct {
+			Error apiError `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
+			return nil, resp.StatusCode, nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		return nil, resp.StatusCode, &env.Error, nil
+	}
+	return raw, resp.StatusCode, nil, nil
+}
+
+// report prints a failure and picks the exit code: quota rejections get
+// their own so tenant scripts can back off and retry.
+func report(stderr io.Writer, serr *apiError, err error) int {
+	if err != nil {
+		fmt.Fprintf(stderr, "pipesctl: %v\n", err)
+		return exitErr
+	}
+	fmt.Fprintf(stderr, "pipesctl: %s: %s\n", serr.Code, serr.Message)
+	if strings.HasPrefix(serr.Code, "quota_") {
+		return exitQuota
+	}
+	return exitErr
+}
+
+func printDoc(stdout io.Writer, raw json.RawMessage) {
+	var buf bytes.Buffer
+	if json.Indent(&buf, raw, "", "  ") == nil {
+		raw = buf.Bytes()
+	}
+	fmt.Fprintln(stdout, strings.TrimSpace(string(raw)))
+}
+
+func cmdSubmit(c *client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	buffer := fs.Int("buffer", 0, "result buffer capacity in bytes (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pipesctl submit [-buffer BYTES] 'SELECT ...'")
+		return exitUsage
+	}
+	raw, _, serr, err := c.do("POST", "/v1/queries",
+		map[string]any{"cql": fs.Arg(0), "buffer_bytes": *buffer})
+	if err != nil || serr != nil {
+		return report(stderr, serr, err)
+	}
+	printDoc(stdout, raw)
+	return exitOK
+}
+
+func cmdList(c *client, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		fmt.Fprintln(stderr, "usage: pipesctl list")
+		return exitUsage
+	}
+	raw, _, serr, err := c.do("GET", "/v1/queries", nil)
+	if err != nil || serr != nil {
+		return report(stderr, serr, err)
+	}
+	printDoc(stdout, raw)
+	return exitOK
+}
+
+func cmdGet(c *client, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: pipesctl get QUERY")
+		return exitUsage
+	}
+	raw, _, serr, err := c.do("GET", "/v1/queries/"+args[0], nil)
+	if err != nil || serr != nil {
+		return report(stderr, serr, err)
+	}
+	printDoc(stdout, raw)
+	return exitOK
+}
+
+func cmdKill(c *client, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: pipesctl kill QUERY")
+		return exitUsage
+	}
+	raw, _, serr, err := c.do("DELETE", "/v1/queries/"+args[0], nil)
+	if err != nil || serr != nil {
+		return report(stderr, serr, err)
+	}
+	printDoc(stdout, raw)
+	return exitOK
+}
+
+func cmdTenant(c *client, args []string, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		fmt.Fprintln(stderr, "usage: pipesctl tenant")
+		return exitUsage
+	}
+	raw, _, serr, err := c.do("GET", "/v1/tenant", nil)
+	if err != nil || serr != nil {
+		return report(stderr, serr, err)
+	}
+	printDoc(stdout, raw)
+	return exitOK
+}
+
+func cmdResults(c *client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("results", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	after := fs.Uint64("after", 0, "resume after this result sequence number")
+	maxN := fs.Int("max", 256, "page size")
+	wait := fs.Duration("wait", 10*time.Second, "long-poll wait per page")
+	follow := fs.Bool("follow", false, "keep polling until the query ends")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pipesctl results [-after N] [-max N] [-wait DUR] [-follow] QUERY")
+		return exitUsage
+	}
+	id := fs.Arg(0)
+	cursor := *after
+	for {
+		path := fmt.Sprintf("/v1/queries/%s/results?after=%d&max=%d&wait=%s",
+			id, cursor, *maxN, wait.String())
+		raw, _, serr, err := c.do("GET", path, nil)
+		if err != nil || serr != nil {
+			return report(stderr, serr, err)
+		}
+		var page struct {
+			Results []struct {
+				Seq   uint64          `json:"seq"`
+				Value json.RawMessage `json:"value"`
+			} `json:"results"`
+			Dropped int64  `json:"dropped"`
+			Next    uint64 `json:"next"`
+			Done    bool   `json:"done"`
+		}
+		if err := json.Unmarshal(raw, &page); err != nil {
+			fmt.Fprintf(stderr, "pipesctl: bad results page: %v\n", err)
+			return exitErr
+		}
+		if page.Dropped > 0 {
+			fmt.Fprintf(stderr, "pipesctl: %d results shed before sequence %d\n",
+				page.Dropped, page.Next)
+		}
+		for _, r := range page.Results {
+			// Re-compact: the server pretty-prints the enclosing page.
+			var buf bytes.Buffer
+			val := string(r.Value)
+			if json.Compact(&buf, r.Value) == nil {
+				val = buf.String()
+			}
+			fmt.Fprintln(stdout, val)
+		}
+		cursor = page.Next
+		if page.Done || !*follow {
+			return exitOK
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pipes"
+)
+
+// newServedEngine boots a DSMS with the control plane on a real socket
+// and one fed stream, returning the service address and the feed.
+func newServedEngine(t *testing.T) (addr string, feed chan pipes.Element) {
+	t.Helper()
+	feed = make(chan pipes.Element, 1024)
+	dsms := pipes.NewDSMS(pipes.Config{
+		ServiceAddr: "127.0.0.1:0",
+		ServiceTenants: []pipes.TenantConfig{
+			{Name: "alice", Token: "alice-secret", Quota: pipes.TenantQuota{MaxQueries: 2}},
+		},
+	})
+	dsms.RegisterStream("s", pipes.NewChanSource("s", feed), 1000)
+	dsms.Start()
+	t.Cleanup(dsms.Stop)
+	return dsms.ServiceAddr(), feed
+}
+
+func ctl(t *testing.T, addr string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	full := append([]string{"-addr", addr, "-token", "alice-secret"}, args...)
+	code = run(full, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCtlSubmitListResultsKill(t *testing.T) {
+	addr, feed := newServedEngine(t)
+
+	code, out, errb := ctl(t, addr, "submit", `SELECT a FROM s [NOW] WHERE a > 1`)
+	if code != exitOK {
+		t.Fatalf("submit exit %d: %s", code, errb)
+	}
+	var info struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(out), &info); err != nil || info.ID == "" {
+		t.Fatalf("submit output %q: %v", out, err)
+	}
+
+	code, out, _ = ctl(t, addr, "list")
+	if code != exitOK || !strings.Contains(out, info.ID) {
+		t.Fatalf("list exit %d output %q", code, out)
+	}
+	code, out, _ = ctl(t, addr, "get", info.ID)
+	if code != exitOK || !strings.Contains(out, `"running"`) {
+		t.Fatalf("get exit %d output %q", code, out)
+	}
+
+	feed <- pipes.At(pipes.Tuple{"a": int64(5)}, 1)
+	feed <- pipes.At(pipes.Tuple{"a": int64(0)}, 2)
+	feed <- pipes.At(pipes.Tuple{"a": int64(7)}, 3)
+
+	code, out, errb = ctl(t, addr, "results", "-wait", "5s", info.ID)
+	if code != exitOK {
+		t.Fatalf("results exit %d: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("results printed nothing")
+	}
+	for _, l := range lines {
+		var v map[string]float64
+		if err := json.Unmarshal([]byte(l), &v); err != nil || v["a"] <= 1 {
+			t.Fatalf("bad result line %q: %v", l, err)
+		}
+	}
+
+	code, out, _ = ctl(t, addr, "kill", info.ID)
+	if code != exitOK || !strings.Contains(out, `"killed"`) {
+		t.Fatalf("kill exit %d output %q", code, out)
+	}
+	code, _, _ = ctl(t, addr, "get", info.ID)
+	if code != exitErr {
+		t.Fatalf("get after kill exit %d", code)
+	}
+}
+
+func TestCtlQuotaExitCode(t *testing.T) {
+	addr, _ := newServedEngine(t)
+	for i := 0; i < 2; i++ {
+		if code, _, errb := ctl(t, addr, "submit", `SELECT a FROM s [NOW]`); code != exitOK {
+			t.Fatalf("submit %d exit %d: %s", i, code, errb)
+		}
+	}
+	code, _, errb := ctl(t, addr, "submit", `SELECT a FROM s [ROWS 10]`)
+	if code != exitQuota {
+		t.Fatalf("over-quota submit exit %d (want %d): %s", code, exitQuota, errb)
+	}
+	if !strings.Contains(errb, "quota_queries") {
+		t.Fatalf("stderr %q", errb)
+	}
+}
+
+func TestCtlUsageAndErrors(t *testing.T) {
+	if code, _, _ := ctl(t, "127.0.0.1:1", "bogus"); code != exitUsage {
+		t.Fatalf("unknown command exit %d", code)
+	}
+	if code := run([]string{"list"}, &strings.Builder{}, &strings.Builder{}); code != exitUsage {
+		t.Fatalf("missing addr/token exit %d", code)
+	}
+	// A dead endpoint is a transport error, not a crash.
+	if code, _, _ := ctl(t, "127.0.0.1:1", "list"); code != exitErr {
+		t.Fatalf("dead endpoint exit %d", code)
+	}
+	addr, _ := newServedEngine(t)
+	if code, _, errb := ctl(t, addr, "submit", "SELECT nonsense FROM nowhere [NOW]"); code != exitErr {
+		t.Fatalf("invalid query exit %d: %s", code, errb)
+	}
+	if code, _, _ := ctl(t, addr, "get", "q999"); code != exitErr {
+		t.Fatalf("unknown query exit %d", code)
+	}
+}
+
+func TestCtlTenantDoc(t *testing.T) {
+	addr, _ := newServedEngine(t)
+	code, out, errb := ctl(t, addr, "tenant")
+	if code != exitOK {
+		t.Fatalf("tenant exit %d: %s", code, errb)
+	}
+	var doc struct {
+		Tenant string `json:"tenant"`
+		Quota  struct {
+			MaxQueries int `json:"max_queries"`
+		} `json:"quota"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil || doc.Tenant != "alice" || doc.Quota.MaxQueries != 2 {
+		t.Fatalf("tenant doc %q: %v", out, err)
+	}
+}

@@ -1,48 +1,172 @@
-// Multi-query optimization: register a batch of overlapping continuous
-// queries and watch the optimizer share physical operators between them —
-// the paper's extension of multi-query optimization to stream processing.
+// Multi-query optimization as a service: two tenants drive the HTTP
+// control plane (SERVICE.md) of one running engine, submitting
+// overlapping continuous queries that the optimizer compiles into a
+// shared physical graph — the paper's multi-query optimization extended
+// to stream processing, behind authn, quotas and admission control.
+//
+// The demo boots a DSMS with the service enabled, plays both tenants
+// over real HTTP (submit, inspect sharing, stream results, a quota
+// rejection, kill) and prints what each side sees.
+//
+// Set PIPES_SERVICE=host:port to pick the control-plane address
+// (default 127.0.0.1:0). PIPES_SERVICE_HOLD accepts a time.Duration to
+// keep the engine and endpoint alive after the scripted demo — the hook
+// CI and `pipesctl` smoke tests use to drive the service externally.
+// Tenants: alice (token alice-secret, roomy quota) and bob (token
+// bob-secret, MaxQueries 1 — his second submit is the demo's rejection).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
 
 	"pipes"
 	"pipes/internal/nexmark"
 )
 
 func main() {
-	gen := nexmark.NewGenerator(nexmark.Config{Seed: 7, MaxEvents: 50_000}, nil)
-	dsms := pipes.NewDSMS(pipes.Config{})
-	dsms.RegisterStream("bids", gen.BidSource("bids"), 2000)
+	addr := os.Getenv("PIPES_SERVICE")
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	gen := nexmark.NewGenerator(nexmark.Config{Seed: 7, MaxEvents: 2_000_000}, nil)
+	dsms := pipes.NewDSMS(pipes.Config{
+		ServiceAddr: addr,
+		ServiceTenants: []pipes.TenantConfig{
+			{Name: "alice", Token: "alice-secret",
+				Quota: pipes.TenantQuota{MaxQueries: 8, MaxOperators: 64}},
+			{Name: "bob", Token: "bob-secret",
+				Quota: pipes.TenantQuota{MaxQueries: 1}},
+		},
+	})
+	// Queries arrive over HTTP while the graph runs, so the bid stream is
+	// paced in wall time instead of being drained at full speed: a pump
+	// goroutine feeds a channel source until the process exits.
+	feed := make(chan pipes.Element, 1024)
+	dsms.RegisterStream("bids", pipes.NewChanSource("bids", feed), 2000)
+	dsms.Start()
+	go func() {
+		defer close(feed)
+		for {
+			ev, ok := gen.Next()
+			if !ok {
+				return
+			}
+			if ev.Kind != nexmark.EvBid {
+				continue
+			}
+			feed <- pipes.At(nexmark.BidTuple(ev.Bid), ev.Time)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	base := "http://" + dsms.ServiceAddr()
+	fmt.Printf("control plane: %s (tenants: alice, bob)\n\n", base)
 
-	queries := []string{
-		`SELECT auction, price FROM bids [RANGE 60000] WHERE price > 500`,
-		`SELECT auction, price FROM bids [RANGE 60000] WHERE price > 500`,           // identical: full reuse
-		`SELECT auction FROM bids [RANGE 60000] WHERE price > 500`,                  // shares scan+window+filter
-		`SELECT auction, COUNT(*) AS n FROM bids [RANGE 60000] GROUP BY auction`,    // shares scan+window
-		`SELECT auction, COUNT(*) AS n FROM bids [RANGE 60000] GROUP BY auction`,    // identical to the previous
-		`SELECT bidder, MAX(price) AS best FROM bids [RANGE 60000] GROUP BY bidder`, // shares scan+window
+	// Two tenants, overlapping queries: the optimizer shares the scan,
+	// window, filter and aggregation subplans across tenant boundaries.
+	submits := []struct{ tenant, token, cql string }{
+		{"alice", "alice-secret", `SELECT auction, price FROM bids [RANGE 60000] WHERE price > 500`},
+		{"bob", "bob-secret", `SELECT auction FROM bids [RANGE 60000] WHERE price > 500`},
+		{"alice", "alice-secret", `SELECT auction, COUNT(*) AS n FROM bids [RANGE 60000] GROUP BY auction`},
+	}
+	type doc = map[string]any
+	var ids []string
+	fmt.Println("submitting queries over HTTP:")
+	for _, s := range submits {
+		var info doc
+		status := call("POST", base+"/v1/queries", s.token,
+			doc{"cql": s.cql}, &info)
+		if status != 201 {
+			panic(fmt.Sprintf("submit for %s: HTTP %d: %v", s.tenant, status, info))
+		}
+		ids = append(ids, info["id"].(string))
+		fmt.Printf("  %-5s %-4v new=%v shared=%v  %s\n",
+			s.tenant, info["id"], info["new_operators"], info["shared_operators"], s.cql)
+	}
+	fmt.Printf("\ntotal physical operators for %d queries: %d\n",
+		len(submits), dsms.Optimizer.OperatorCount())
+
+	// bob is at quota: his second submit is rejected with a structured
+	// error before anything touches the graph.
+	var rejected doc
+	status := call("POST", base+"/v1/queries", "bob-secret",
+		doc{"cql": `SELECT price FROM bids [ROWS 100]`}, &rejected)
+	errDoc, _ := rejected["error"].(map[string]any)
+	fmt.Printf("\nbob's second submit: HTTP %d %v — %v\n",
+		status, errDoc["code"], errDoc["message"])
+
+	// Stream a few results per query while the generator pumps.
+	fmt.Println("\nfirst results per query:")
+	for i, id := range ids {
+		var page struct {
+			Results []struct {
+				Value json.RawMessage `json:"value"`
+			} `json:"results"`
+		}
+		call("GET", fmt.Sprintf("%s/v1/queries/%s/results?wait=10s&max=3", base, id),
+			submits[i].token, nil, &page)
+		for _, r := range page.Results {
+			var buf bytes.Buffer
+			_ = json.Compact(&buf, r.Value)
+			fmt.Printf("  %s %-4s %s\n", submits[i].tenant, id, buf.String())
+		}
 	}
 
-	collectors := make([]*pipes.Counter, len(queries))
-	fmt.Println("registering queries:")
-	for i, text := range queries {
-		q, err := dsms.RegisterQuery(text)
+	// alice kills her filter query; bob's — sharing its subplan — lives on.
+	var killed doc
+	call("DELETE", base+"/v1/queries/"+ids[0], "alice-secret", nil, &killed)
+	fmt.Printf("\nkilled %s (status %v); operators now: %d\n",
+		ids[0], killed["status"], dsms.Optimizer.OperatorCount())
+	var bobDoc doc
+	call("GET", base+"/v1/queries/"+ids[1], "bob-secret", nil, &bobDoc)
+	fmt.Printf("bob's query after alice's kill: status=%v results=%v\n",
+		bobDoc["status"], bobDoc["results"])
+
+	if hold := os.Getenv("PIPES_SERVICE_HOLD"); hold != "" {
+		d, err := time.ParseDuration(hold)
+		if err != nil {
+			panic(fmt.Sprintf("bad PIPES_SERVICE_HOLD %q: %v", hold, err))
+		}
+		fmt.Printf("\nholding control plane open for %s\n", d)
+		time.Sleep(d)
+	}
+	dsms.Stop()
+}
+
+// call issues one authenticated control-plane request, decoding the JSON
+// response (success or error envelope) into out when non-nil.
+func call(method, url, token string, body, out any) int {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
 		if err != nil {
 			panic(err)
 		}
-		collectors[i] = pipes.NewCounter(fmt.Sprintf("q%d", i), 1)
-		q.Subscribe(collectors[i])
-		fmt.Printf("  q%d: new=%d shared=%d cost=%.0f  %s\n",
-			i, q.Instance.NewNodes, q.Instance.SharedNodes, q.Instance.Cost, text)
+		rd = bytes.NewReader(raw)
 	}
-	fmt.Printf("\ntotal physical operators for %d queries: %d\n",
-		len(queries), dsms.Optimizer.OperatorCount())
-
-	dsms.Start()
-	dsms.Wait()
-	for i, c := range collectors {
-		c.Wait()
-		fmt.Printf("q%d results: %d\n", i, c.Count())
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		panic(err)
 	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			panic(fmt.Sprintf("%s %s -> %q: %v", method, url, raw, err))
+		}
+	}
+	return resp.StatusCode
 }

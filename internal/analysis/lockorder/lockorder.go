@@ -76,6 +76,8 @@ var builtinClasses = map[lockField]class{
 	{"pubsub", "SourceBase", "mu"}:      classInner,
 	{"metadata", "Monitored", "mu"}:     classStats,
 	{"metadata", "rateEstimator", "mu"}: classStats,
+	{"service", "Service", "mu"}:        classStats,
+	{"service", "ResultBuffer", "mu"}:   classStats,
 }
 
 // lockEvent is one Lock/Unlock call inside a function body.

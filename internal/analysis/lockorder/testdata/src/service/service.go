@@ -1,0 +1,70 @@
+// Package service exercises the control-plane entries of the built-in
+// lock-class table: Service.mu and ResultBuffer.mu are stats-class leaf
+// locks; engine calls (dynamic dispatch into the graph) and inner
+// processing locks must stay outside them.
+package service
+
+import (
+	"sync"
+
+	"pubsub"
+)
+
+// Engine is the graph-facing interface the service delegates to.
+type Engine interface {
+	Kill(id string) error
+}
+
+// ResultBuffer guards per-query result state with a stats mutex.
+type ResultBuffer struct {
+	mu      sync.Mutex
+	results int
+}
+
+// Service guards tenant bookkeeping with a stats mutex.
+type Service struct {
+	mu   sync.Mutex
+	eng  Engine
+	pb   pubsub.PipeBase
+	live map[string]bool
+}
+
+// BadKill calls into the engine while holding the stats mutex.
+func (s *Service) BadKill(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.live, id)
+	return s.eng.Kill(id) // want `dynamic call s.eng.Kill while holding stats-class lock s.mu`
+}
+
+// BadAppend takes the graph's inner processing lock under the buffer's
+// stats mutex.
+func (b *ResultBuffer) BadAppend(pb *pubsub.PipeBase) {
+	b.mu.Lock()
+	pb.ProcMu.Lock() // want `acquiring inner-class lock pb.ProcMu while holding stats-class lock b.mu`
+	pb.ProcMu.Unlock()
+	b.results++
+	b.mu.Unlock()
+}
+
+// BadTransitive hides the inner acquisition behind a helper; the
+// call-graph walk finds it.
+func (s *Service) BadTransitive() {
+	s.mu.Lock()
+	s.detach() // want `call to detach while holding stats-class lock s.mu: it transitively`
+	s.mu.Unlock()
+}
+
+func (s *Service) detach() {
+	s.pb.ProcMu.Lock()
+	s.pb.ProcMu.Unlock()
+}
+
+// GoodKill is the shipped shape: bookkeeping under the stats mutex,
+// engine calls strictly outside it.
+func (s *Service) GoodKill(id string) error {
+	s.mu.Lock()
+	delete(s.live, id)
+	s.mu.Unlock()
+	return s.eng.Kill(id)
+}

@@ -36,9 +36,11 @@ var Analyzer = &analysis.Analyzer{
 
 func init() { vetutil.RegisterAnalyzer(name) }
 
-// scope: operator implementation packages. sched and telemetry are the
-// sanctioned concurrent machinery and deliberately absent.
-var scope = []string{"ops", "aggregate", "sweeparea", "pubsub", "ft"}
+// scope: operator implementation packages, plus the control-plane
+// service whose graph-facing sink must never block the scheduler. sched
+// and telemetry are the sanctioned concurrent machinery and
+// deliberately absent.
+var scope = []string{"ops", "aggregate", "sweeparea", "pubsub", "ft", "service"}
 
 func run(pass *analysis.Pass) (any, error) {
 	allow := vetutil.NewAllower(pass, name) // before the scope check: directive misuse is validated everywhere

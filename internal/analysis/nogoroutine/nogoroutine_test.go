@@ -8,5 +8,5 @@ import (
 )
 
 func TestNogoroutine(t *testing.T) {
-	analyzertest.Run(t, "testdata", nogoroutine.Analyzer, "ops", "sched")
+	analyzertest.Run(t, "testdata", nogoroutine.Analyzer, "ops", "sched", "service")
 }

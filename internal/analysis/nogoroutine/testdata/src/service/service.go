@@ -1,0 +1,30 @@
+// Package service exercises the widened scope: the control plane's
+// graph-facing result sink runs on scheduler workers, so its append
+// path must not spawn or block on channels.
+package service
+
+type buffer struct {
+	notify chan struct{}
+}
+
+func (b *buffer) badAppend(wake chan struct{}) {
+	go b.drain(wake) // want `goroutine launched inside an operator package`
+	wake <- struct{}{} // want `channel send inside an operator package`
+	<-wake // want `channel receive inside an operator package`
+}
+
+func (b *buffer) drain(chan struct{}) {}
+
+// goodSignal is the shipped wake-up shape: close-and-replace is not a
+// channel operation, so the graph-facing append path stays block-free.
+func (b *buffer) goodSignal() {
+	close(b.notify)
+	b.notify = make(chan struct{})
+}
+
+// sanctionedWait is the consumer side: it runs on an HTTP handler
+// goroutine, not a scheduler worker, and says so.
+func (b *buffer) sanctionedWait() {
+	//pipesvet:allow nogoroutine consumer-side wait, runs on the HTTP handler goroutine
+	<-b.notify
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestSealedsub(t *testing.T) {
-	analyzertest.Run(t, "testdata", sealedsub.Analyzer, "app")
+	analyzertest.Run(t, "testdata", sealedsub.Analyzer, "app", "service")
 }

@@ -1,0 +1,28 @@
+// Package service exercises the sealing rule from the control plane's
+// viewpoint: attaching a result sink to a running graph is the
+// sanctioned dynamic plan change — and must say so.
+package service
+
+import (
+	"pubsub"
+	"sched"
+)
+
+// badBoot misorders setup: the result sink should attach before Start.
+func badBoot() {
+	s := sched.New()
+	var src pubsub.SourceBase
+	s.Start()
+	src.Subscribe(nil, 0) // want `graph topology change after sched.Start`
+	s.Stop()
+}
+
+// goodSubmit is live query admission: attach mid-run, deliberately.
+func goodSubmit() {
+	s := sched.New()
+	var src pubsub.SourceBase
+	s.Start()
+	//pipesvet:allow sealedsub live query admission attaches its result sink to the running graph
+	src.Subscribe(nil, 0)
+	s.Stop()
+}

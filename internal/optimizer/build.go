@@ -80,8 +80,19 @@ type Instance struct {
 
 // Optimizer owns the signature registry of the running query graph and
 // instantiates new queries with maximal reuse.
+//
+// Concurrency: graph mutations (AddQuery, AddPlan, RemoveQuery) are
+// serialised by addMu — one mutation spans many registry updates and
+// upstream subscriptions, and interleaving two of them could build the
+// same subplan twice (the loser's node would be wired into the graph but
+// lost from the registry) or revive a subplan mid-splice. Read paths
+// (OperatorCount) only take the inner mu. Lock order: addMu strictly
+// before mu; pubsub subscription locks are acquired below both.
 type Optimizer struct {
 	cat *Catalog
+
+	// addMu serialises whole graph mutations (see type comment).
+	addMu sync.Mutex
 
 	mu       sync.Mutex
 	registry map[string]*regEntry
@@ -116,10 +127,30 @@ func (o *Optimizer) SetDecorator(fn func(pubsub.Pipe) pubsub.Pipe) {
 // enumerated variants are costed against the current registry and the
 // cheapest is built, reusing every registered subplan.
 func (o *Optimizer) AddQuery(q *cql.Query) (*Instance, error) {
+	return o.AddQueryAdmitted(q, nil)
+}
+
+// Admission vets a planned query before any physical operator is built.
+// It receives the node counts of the chosen plan against the current
+// registry: newNodes physical operators would be created, sharedNodes
+// reused. Returning a non-nil error aborts the add with the running
+// graph untouched; the error is returned to the caller verbatim. The
+// callback runs under the optimizer's mutation lock, so the counts
+// cannot be invalidated by a concurrent add or remove — this is the
+// admission-control seam of the multi-tenant query service
+// (internal/service, SERVICE.md).
+type Admission func(newNodes, sharedNodes int) error
+
+// AddQueryAdmitted is AddQuery with an admission gate: after planning
+// and costing but before the first physical operator is built, admit
+// (if non-nil) decides whether the query may enter the graph.
+func (o *Optimizer) AddQueryAdmitted(q *cql.Query, admit Admission) (*Instance, error) {
 	plan, err := FromQuery(q)
 	if err != nil {
 		return nil, err
 	}
+	o.addMu.Lock()
+	defer o.addMu.Unlock()
 	o.mu.Lock()
 	shared := func(sig string) bool {
 		_, ok := o.registry[sig]
@@ -133,6 +164,13 @@ func (o *Optimizer) AddQuery(q *cql.Query) (*Instance, error) {
 	}
 	o.mu.Unlock()
 
+	if admit != nil {
+		newN, sharedN := o.previewCounts(best)
+		if err := admit(newN, sharedN); err != nil {
+			return nil, err
+		}
+	}
+
 	inst := &Instance{Plan: best, Cost: bestCost}
 	root, err := o.instantiate(best, inst)
 	if err != nil {
@@ -140,6 +178,65 @@ func (o *Optimizer) AddQuery(q *cql.Query) (*Instance, error) {
 	}
 	inst.Root = root
 	return inst, nil
+}
+
+// previewCounts walks a plan the way instantiate will and predicts how
+// many physical nodes would be created vs reused, without building
+// anything. Caller holds addMu, so the prediction holds until the build.
+func (o *Optimizer) previewCounts(p Plan) (newNodes, sharedNodes int) {
+	var sigs []string
+	planSignatures(p, &sigs)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	seen := map[string]bool{}
+	for _, sig := range sigs {
+		if seen[sig] {
+			// Second occurrence within this plan: instantiate registers
+			// the first build immediately, so the repeat is a share.
+			sharedNodes++
+			continue
+		}
+		seen[sig] = true
+		if _, ok := o.registry[sig]; ok {
+			sharedNodes++
+		} else {
+			newNodes++
+		}
+	}
+	return newNodes, sharedNodes
+}
+
+// planSignatures appends the registry signatures instantiate would look
+// up for p, bottom-up in instantiation order. The Scan case mirrors
+// buildScan: a qualifier-map signature always, the window signature only
+// for windowed scans.
+func planSignatures(p Plan, sigs *[]string) {
+	switch v := p.(type) {
+	case *Scan:
+		*sigs = append(*sigs, fmt.Sprintf("qualify(%s as %s)", v.Stream, v.Qualifier))
+		if v.Window.Kind != cql.WindowNone {
+			*sigs = append(*sigs, v.Signature())
+		}
+	case *Select:
+		planSignatures(v.Input, sigs)
+		*sigs = append(*sigs, v.Signature())
+	case *Join:
+		planSignatures(v.Left, sigs)
+		planSignatures(v.Right, sigs)
+		*sigs = append(*sigs, v.Signature())
+	case *Group:
+		planSignatures(v.Input, sigs)
+		*sigs = append(*sigs, v.Signature())
+	case *Project:
+		planSignatures(v.Input, sigs)
+		*sigs = append(*sigs, v.Signature())
+	case *Distinct:
+		planSignatures(v.Input, sigs)
+		*sigs = append(*sigs, v.Signature())
+	case *Rel:
+		planSignatures(v.Input, sigs)
+		*sigs = append(*sigs, v.Signature())
+	}
 }
 
 // OperatorCount returns the number of registered physical subplans — the
@@ -203,6 +300,8 @@ func (o *Optimizer) lookupOrBuild(sig string, inst *Instance, mk func() (pubsub.
 // from XML via planio) against the running graph, with the same sharing
 // semantics as AddQuery.
 func (o *Optimizer) AddPlan(p Plan) (*Instance, error) {
+	o.addMu.Lock()
+	defer o.addMu.Unlock()
 	o.mu.Lock()
 	shared := func(sig string) bool {
 		_, ok := o.registry[sig]
@@ -228,6 +327,11 @@ func (o *Optimizer) RemoveQuery(inst *Instance) error {
 	if inst == nil {
 		return fmt.Errorf("optimizer: nil instance")
 	}
+	// The whole removal — refcount drop, dead-node collection and the
+	// upstream splice-out — runs under the mutation lock so a concurrent
+	// AddQuery cannot re-reference a subplan that is mid-splice.
+	o.addMu.Lock()
+	defer o.addMu.Unlock()
 	o.mu.Lock()
 	for _, sig := range inst.sigs {
 		if e, ok := o.registry[sig]; ok {

@@ -1,0 +1,106 @@
+// Tenant identity, quotas and the structured error model of the
+// continuous-query service. Authentication is deliberately simple —
+// static bearer tokens configured at engine construction — because the
+// interesting multi-tenancy problems live one layer up, in admission
+// control over the shared graph (service.go, SERVICE.md).
+package service
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+)
+
+// Quota bounds one tenant's footprint on the shared engine. A zero field
+// means unlimited on that dimension.
+type Quota struct {
+	// MaxQueries caps the tenant's standing queries.
+	MaxQueries int
+	// MaxOperators caps the tenant's private physical operators: the
+	// nodes its queries caused to be built after multi-query sharing
+	// credit (an operator reused from another query costs nothing).
+	// Accounted at admission, refunded at kill.
+	MaxOperators int
+	// MaxResultBytes caps the summed capacity of the tenant's per-query
+	// result buffers.
+	MaxResultBytes int
+}
+
+// TenantConfig declares one tenant: its display name, bearer token and
+// quota.
+type TenantConfig struct {
+	Name  string
+	Token string
+	Quota Quota
+}
+
+// Error is the structured error document of the service API. It is both
+// a Go error (for the engine seam) and the JSON body of every non-2xx
+// response:
+//
+//	{"error":{"code":"quota_queries","message":"...","detail":{...}}}
+type Error struct {
+	// Status is the HTTP status the error maps to (not serialised; the
+	// response line carries it).
+	Status int `json:"-"`
+	// Code is the stable machine-readable identifier.
+	Code string `json:"code"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+	// Detail carries code-specific fields (limits, usage, ids).
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Error constructors: one per API failure mode, so codes and statuses
+// stay consistent across handlers, tests and pipesctl.
+
+func errUnauthorized() *Error {
+	return &Error{Status: http.StatusUnauthorized, Code: "unauthorized",
+		Message: "missing or unknown bearer token"}
+}
+
+func errUnknownQuery(id string) *Error {
+	return &Error{Status: http.StatusNotFound, Code: "unknown_query",
+		Message: fmt.Sprintf("no query %q for this tenant", id),
+		Detail:  map[string]any{"id": id}}
+}
+
+func errInvalidQuery(cause error) *Error {
+	return &Error{Status: http.StatusUnprocessableEntity, Code: "invalid_query",
+		Message: cause.Error()}
+}
+
+func errBadRequest(msg string) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: "bad_request", Message: msg}
+}
+
+func errQuota(code, what string, limit, inUse, requested int) *Error {
+	return &Error{Status: http.StatusTooManyRequests, Code: code,
+		Message: fmt.Sprintf("tenant quota exceeded: %s (limit %d, in use %d, requested %d)",
+			what, limit, inUse, requested),
+		Detail: map[string]any{"limit": limit, "in_use": inUse, "requested": requested}}
+}
+
+// tokenEntry pairs a configured token with its tenant for constant-time
+// resolution.
+type tokenEntry struct {
+	token  []byte
+	tenant string
+}
+
+// resolveToken maps a presented bearer token to a tenant name. Every
+// configured token is compared in constant time so response timing does
+// not narrow the search space.
+func resolveToken(entries []tokenEntry, presented string) (string, bool) {
+	p := []byte(presented)
+	name, found := "", false
+	for _, e := range entries {
+		if subtle.ConstantTimeCompare(e.token, p) == 1 {
+			name, found = e.tenant, true
+		}
+	}
+	return name, found
+}

@@ -1,0 +1,271 @@
+// Bounded per-query result delivery. A ResultBuffer sits between a
+// query's root operator and its remote consumers: the graph-facing side
+// (Append, via resultSink.Process) NEVER blocks — it renders the result,
+// appends it to a byte-bounded ring and, when over budget, sheds the
+// oldest entries and counts what an attached reader loses. Consumers
+// (SSE streams, long-polls) read through cursor-positioned Readers that
+// wait on the buffer without ever backpressuring the shared graph: a
+// stalled consumer costs shed results, not graph throughput.
+package service
+
+import (
+	"context"
+	"sync"
+
+	"pipes/internal/temporal"
+)
+
+// entryOverhead approximates the bookkeeping bytes an entry costs beyond
+// its payload, so capacity accounting is honest for tiny results.
+const entryOverhead = 48
+
+// Entry is one delivered result: a rendered JSON value plus the
+// element's validity interval and its position in the query's result
+// sequence (seqs start at 1 and never repeat).
+type Entry struct {
+	Seq        uint64
+	Start, End temporal.Time
+	// Data is the JSON rendering of the result value. It is immutable
+	// once appended; readers may share it without copying.
+	Data []byte
+}
+
+// BufferStats is a point-in-time snapshot of a buffer's counters.
+type BufferStats struct {
+	// Results and ResultBytes count everything ever appended.
+	Results     int64
+	ResultBytes int64
+	// Shed counts entries evicted before an attached reader consumed
+	// them — the slow-consumer loss figure behind
+	// pipes_tenant_result_shed.
+	Shed int64
+	// Buffered/BufferedBytes describe current ring occupancy; CapBytes
+	// is the configured bound.
+	Buffered      int
+	BufferedBytes int
+	CapBytes      int
+	// Readers is the number of attached readers.
+	Readers int
+	// Done reports end-of-stream (the query's inputs finished or the
+	// query was killed).
+	Done bool
+}
+
+// ResultBuffer is the bounded result ring of one standing query. All
+// methods are safe for concurrent use; none of them blocks beyond the
+// internal mutex (waiting happens in Reader.Next, outside the lock).
+type ResultBuffer struct {
+	capBytes int
+
+	// mu is a leaf lock: nothing is acquired and no dynamic call is made
+	// while holding it, so the graph-facing Append path cannot deadlock
+	// against consumer-side waits.
+	//pipesvet:lockclass stats
+	mu      sync.Mutex
+	entries []Entry // contiguous seqs; entries[0] is the oldest retained
+	nextSeq uint64  // last assigned seq (0 = none yet)
+	bytes   int     // current ring occupancy incl. overhead
+
+	total      int64
+	totalBytes int64
+	shed       int64
+	done       bool
+
+	// notify is closed and replaced whenever new data or done arrives;
+	// readers wait on the channel they snapshot under mu.
+	notify  chan struct{}
+	readers map[*Reader]struct{}
+}
+
+// NewResultBuffer returns a buffer bounded to capBytes of rendered
+// results (minimum one entry is always retained regardless of size).
+func NewResultBuffer(capBytes int) *ResultBuffer {
+	if capBytes <= 0 {
+		capBytes = 1 << 20
+	}
+	return &ResultBuffer{
+		capBytes: capBytes,
+		notify:   make(chan struct{}),
+		readers:  map[*Reader]struct{}{},
+	}
+}
+
+// firstRetainedLocked returns the seq of the oldest retained entry, or
+// nextSeq+1 when the ring is empty.
+func (b *ResultBuffer) firstRetainedLocked() uint64 {
+	if len(b.entries) > 0 {
+		return b.entries[0].Seq
+	}
+	return b.nextSeq + 1
+}
+
+// minCursorLocked returns the smallest attached-reader cursor, and
+// whether any reader is attached.
+func (b *ResultBuffer) minCursorLocked() (uint64, bool) {
+	min, any := uint64(0), false
+	for r := range b.readers {
+		if !any || r.cursor < min {
+			min, any = r.cursor, true
+		}
+	}
+	return min, any
+}
+
+// Append renders nothing itself — data must already be an immutable JSON
+// rendering — and never blocks: over budget it evicts oldest-first,
+// counting as shed every evicted entry at least one attached reader had
+// not consumed. Appending after Done is ignored.
+func (b *ResultBuffer) Append(data []byte, start, end temporal.Time) {
+	size := len(data) + entryOverhead
+	b.mu.Lock()
+	if b.done {
+		b.mu.Unlock()
+		return
+	}
+	minCursor, haveReader := b.minCursorLocked()
+	for b.bytes+size > b.capBytes && len(b.entries) > 0 {
+		evicted := b.entries[0]
+		b.entries = b.entries[1:]
+		b.bytes -= len(evicted.Data) + entryOverhead
+		if haveReader && evicted.Seq > minCursor {
+			b.shed++
+		}
+	}
+	b.nextSeq++
+	b.entries = append(b.entries, Entry{Seq: b.nextSeq, Start: start, End: end, Data: data})
+	b.bytes += size
+	b.total++
+	b.totalBytes += int64(len(data))
+	b.signalLocked()
+	b.mu.Unlock()
+}
+
+// signalLocked wakes every waiting reader. close() is not a channel
+// communication: it never blocks the graph-facing caller.
+func (b *ResultBuffer) signalLocked() {
+	close(b.notify)
+	b.notify = make(chan struct{})
+}
+
+// MarkDone records end-of-stream and wakes waiting readers. Idempotent.
+func (b *ResultBuffer) MarkDone() {
+	b.mu.Lock()
+	if !b.done {
+		b.done = true
+		b.signalLocked()
+	}
+	b.mu.Unlock()
+}
+
+// Done reports whether MarkDone has been called.
+func (b *ResultBuffer) Done() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done
+}
+
+// Stats returns a snapshot of the buffer's counters.
+func (b *ResultBuffer) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BufferStats{
+		Results:       b.total,
+		ResultBytes:   b.totalBytes,
+		Shed:          b.shed,
+		Buffered:      len(b.entries),
+		BufferedBytes: b.bytes,
+		CapBytes:      b.capBytes,
+		Readers:       len(b.readers),
+		Done:          b.done,
+	}
+}
+
+// Reader is one attached consumer cursor. While attached, entries
+// evicted past its cursor count as shed; Close detaches it.
+type Reader struct {
+	b      *ResultBuffer
+	cursor uint64 // last consumed seq
+	closed bool
+}
+
+// NewReader attaches a reader positioned after seq `after` (0 = from the
+// oldest retained entry).
+func (b *ResultBuffer) NewReader(after uint64) *Reader {
+	r := &Reader{b: b, cursor: after}
+	b.mu.Lock()
+	b.readers[r] = struct{}{}
+	b.mu.Unlock()
+	return r
+}
+
+// Cursor returns the last consumed seq — the ?after= value that resumes
+// this reader's position.
+func (r *Reader) Cursor() uint64 {
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.cursor
+}
+
+// Close detaches the reader. Idempotent.
+func (r *Reader) Close() {
+	r.b.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		delete(r.b.readers, r)
+	}
+	r.b.mu.Unlock()
+}
+
+// collectLocked moves up to max available entries past the cursor into
+// out, reporting how many were lost to eviction since the last read and
+// whether the stream is complete (done and fully consumed).
+func (r *Reader) collectLocked(max int) (out []Entry, dropped int64, done bool) {
+	b := r.b
+	first := b.firstRetainedLocked()
+	if r.cursor+1 < first {
+		dropped = int64(first - 1 - r.cursor)
+		r.cursor = first - 1
+	}
+	for _, e := range b.entries {
+		if e.Seq <= r.cursor {
+			continue
+		}
+		if len(out) >= max {
+			break
+		}
+		out = append(out, e)
+		r.cursor = e.Seq
+	}
+	done = b.done && r.cursor == b.nextSeq
+	return out, dropped, done
+}
+
+// TryNext returns whatever is immediately available (possibly nothing)
+// without waiting.
+func (r *Reader) TryNext(max int) (out []Entry, dropped int64, done bool) {
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.collectLocked(max)
+}
+
+// Next returns the next batch of entries, waiting until at least one
+// entry, a shed gap or end-of-stream is observable, or ctx ends. It
+// waits on the buffer's notify channel outside the lock: a waiting
+// reader costs the graph nothing.
+func (r *Reader) Next(ctx context.Context, max int) (out []Entry, dropped int64, done bool, err error) {
+	for {
+		r.b.mu.Lock()
+		out, dropped, done = r.collectLocked(max)
+		ch := r.b.notify
+		r.b.mu.Unlock()
+		if len(out) > 0 || dropped > 0 || done {
+			return out, dropped, done, nil
+		}
+		//pipesvet:allow nogoroutine consumer-side wait: Readers run on HTTP handler goroutines, the sanctioned boundary between the graph and remote consumers; the graph-facing Append path never touches a channel
+		select {
+		case <-ch: //pipesvet:allow nogoroutine wake-up receive on the consumer goroutine, outside the operator graph
+		case <-ctx.Done(): //pipesvet:allow nogoroutine cancellation receive on the consumer goroutine, outside the operator graph
+			return nil, 0, false, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pipes/internal/temporal"
+)
+
+func appendN(b *ResultBuffer, n int, size int) {
+	for i := 0; i < n; i++ {
+		data := make([]byte, size)
+		copy(data, fmt.Sprintf("%d", i))
+		b.Append(data, temporal.Time(i), temporal.Time(i+1))
+	}
+}
+
+func TestBufferAppendAndRead(t *testing.T) {
+	b := NewResultBuffer(1 << 20)
+	appendN(b, 3, 10)
+	r := b.NewReader(0)
+	defer r.Close()
+
+	out, dropped, done := r.TryNext(10)
+	if len(out) != 3 || dropped != 0 || done {
+		t.Fatalf("TryNext = %d entries, dropped %d, done %v; want 3, 0, false", len(out), dropped, done)
+	}
+	if out[0].Seq != 1 || out[2].Seq != 3 {
+		t.Fatalf("seqs = %d..%d, want 1..3", out[0].Seq, out[2].Seq)
+	}
+	b.MarkDone()
+	out, _, done = r.TryNext(10)
+	if len(out) != 0 || !done {
+		t.Fatalf("after done: %d entries, done %v; want 0, true", len(out), done)
+	}
+	st := b.Stats()
+	if st.Results != 3 || st.Shed != 0 || !st.Done {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBufferShedOnlyBehindAttachedReader(t *testing.T) {
+	// Each 100-byte entry costs 100+entryOverhead; cap fits ~4.
+	cap := 4 * (100 + entryOverhead)
+	b := NewResultBuffer(cap)
+
+	// No reader attached: eviction is not shed.
+	appendN(b, 20, 100)
+	if st := b.Stats(); st.Shed != 0 {
+		t.Fatalf("shed with no reader = %d, want 0", st.Shed)
+	}
+
+	// A reader at cursor 0 is behind everything: further evictions shed.
+	r := b.NewReader(0)
+	defer r.Close()
+	appendN(b, 20, 100)
+	st := b.Stats()
+	if st.Shed == 0 {
+		t.Fatalf("no shed counted with a lagging reader attached; stats %+v", st)
+	}
+
+	// The reader observes the gap as dropped and resumes at the oldest
+	// retained entry.
+	out, dropped, _ := r.TryNext(100)
+	if dropped == 0 {
+		t.Fatalf("reader saw no dropped gap")
+	}
+	if len(out) == 0 || out[0].Seq != uint64(40)-uint64(st.Buffered)+1 {
+		t.Fatalf("reader resumed at %v, buffered %d", out[0].Seq, st.Buffered)
+	}
+
+	// A caught-up reader sheds nothing more.
+	before := b.Stats().Shed
+	appendN(b, 2, 100)
+	r.TryNext(100)
+	appendN(b, 2, 100)
+	if after := b.Stats().Shed; after != before {
+		t.Fatalf("caught-up reader shed %d more", after-before)
+	}
+}
+
+func TestBufferNextWakesOnAppendAndDone(t *testing.T) {
+	b := NewResultBuffer(1 << 20)
+	r := b.NewReader(0)
+	defer r.Close()
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		b.Append([]byte(`1`), 0, 1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, _, done, err := r.Next(ctx, 10)
+	if err != nil || len(out) != 1 || done {
+		t.Fatalf("Next = %d entries, done %v, err %v", len(out), done, err)
+	}
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		b.MarkDone()
+	}()
+	out, _, done, err = r.Next(ctx, 10)
+	if err != nil || len(out) != 0 || !done {
+		t.Fatalf("Next after done = %d entries, done %v, err %v", len(out), done, err)
+	}
+}
+
+func TestBufferNextHonoursContext(t *testing.T) {
+	b := NewResultBuffer(1 << 20)
+	r := b.NewReader(0)
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, _, err := r.Next(ctx, 10)
+	if err == nil {
+		t.Fatal("Next returned without data or context error")
+	}
+}
+
+func TestBufferAppendAfterDoneIgnored(t *testing.T) {
+	b := NewResultBuffer(1 << 20)
+	b.MarkDone()
+	b.Append([]byte(`1`), 0, 1)
+	if st := b.Stats(); st.Results != 0 || st.Buffered != 0 {
+		t.Fatalf("append after done recorded: %+v", st)
+	}
+}

@@ -1,0 +1,300 @@
+// HTTP surface of the continuous-query service. Every endpoint lives
+// under /v1/ and authenticates with `Authorization: Bearer <token>`:
+//
+//	POST   /v1/queries              submit CQL  {"cql": "...", "buffer_bytes": n}
+//	GET    /v1/queries              list the tenant's standing queries
+//	GET    /v1/queries/{id}         inspect one query (status, plan, sharing, throughput)
+//	DELETE /v1/queries/{id}         kill a query (final snapshot returned)
+//	GET    /v1/queries/{id}/results stream results: long-poll by default,
+//	                                SSE with ?stream=sse or Accept: text/event-stream
+//	GET    /v1/tenant               the caller's quota usage and counters
+//	GET    /healthz                 unauthenticated liveness probe
+//
+// The same handler is mounted on the telemetry server and, when
+// pipes.Config.ServiceAddr is set, on a dedicated listener.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// longPollDefault/longPollMax bound the ?wait= long-poll window.
+const (
+	longPollDefault = 10 * time.Second
+	longPollMax     = 60 * time.Second
+	maxBodyBytes    = 1 << 20
+	batchDefault    = 256
+	batchMax        = 4096
+)
+
+// submitRequest is the POST /v1/queries body.
+type submitRequest struct {
+	CQL string `json:"cql"`
+	// BufferBytes sizes the query's result buffer (0 = service default).
+	BufferBytes int `json:"buffer_bytes"`
+}
+
+// resultItem is one delivered result on the wire.
+type resultItem struct {
+	Seq   uint64          `json:"seq"`
+	Start int64           `json:"start"`
+	End   int64           `json:"end"`
+	Value json.RawMessage `json:"value"`
+}
+
+// resultPage is the long-poll response: results past the cursor, how
+// many were shed out from under it, and the cursor for the next call.
+type resultPage struct {
+	Results []resultItem `json:"results"`
+	Dropped int64        `json:"dropped"`
+	Next    uint64       `json:"next"`
+	Done    bool         `json:"done"`
+}
+
+// Handler returns the service's HTTP handler, rooted at "/".
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/queries", s.withTenant(s.handleSubmit))
+	mux.HandleFunc("GET /v1/queries", s.withTenant(s.handleList))
+	mux.HandleFunc("GET /v1/queries/{id}", s.withTenant(s.handleGet))
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.withTenant(s.handleKill))
+	mux.HandleFunc("GET /v1/queries/{id}/results", s.withTenant(s.handleResults))
+	mux.HandleFunc("GET /v1/tenant", s.withTenant(s.handleTenant))
+	return mux
+}
+
+// withTenant authenticates the bearer token and passes the resolved
+// tenant to h.
+func (s *Service) withTenant(h func(w http.ResponseWriter, r *http.Request, tenant string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		token, ok := strings.CutPrefix(auth, "Bearer ")
+		if !ok {
+			writeError(w, errUnauthorized())
+			return
+		}
+		tenant, serr := s.Authenticate(strings.TrimSpace(token))
+		if serr != nil {
+			writeError(w, serr)
+			return
+		}
+		h(w, r, tenant)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	writeJSON(w, e.Status, map[string]*Error{"error": e})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, errBadRequest("invalid JSON body: "+err.Error()))
+		return
+	}
+	if strings.TrimSpace(req.CQL) == "" {
+		writeError(w, errBadRequest("missing \"cql\" field"))
+		return
+	}
+	info, serr := s.Submit(tenant, req.CQL, req.BufferBytes)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request, tenant string) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": s.List(tenant)})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request, tenant string) {
+	info, serr := s.Get(tenant, r.PathValue("id"))
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleKill(w http.ResponseWriter, r *http.Request, tenant string) {
+	info, serr := s.Kill(tenant, r.PathValue("id"))
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleTenant(w http.ResponseWriter, _ *http.Request, tenant string) {
+	for _, st := range s.TenantStats() {
+		if st.Name == tenant {
+			s.mu.Lock()
+			quota := s.tenants[tenant].cfg.Quota
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"tenant": tenant,
+				"quota": map[string]int{
+					"max_queries":      quota.MaxQueries,
+					"max_operators":    quota.MaxOperators,
+					"max_result_bytes": quota.MaxResultBytes,
+				},
+				"in_use": map[string]int{
+					"queries":      st.ActiveQueries,
+					"operators":    st.PrivateOperators,
+					"result_bytes": st.BufferBytesReserved,
+				},
+				"admission_rejects": st.AdmissionRejects,
+				"results":           st.Results,
+				"result_shed":       st.ResultShed,
+			})
+			return
+		}
+	}
+	writeError(w, errUnauthorized())
+}
+
+// queryUint parses an unsigned query parameter, returning def when
+// absent.
+func queryUint(r *http.Request, name string, def uint64) (uint64, *Error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, errBadRequest(fmt.Sprintf("invalid %q parameter: %v", name, err))
+	}
+	return v, nil
+}
+
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request, tenant string) {
+	after, serr := queryUint(r, "after", 0)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	max, serr := queryUint(r, "max", batchDefault)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	if max == 0 || max > batchMax {
+		max = batchMax
+	}
+	reader, serr := s.Reader(tenant, r.PathValue("id"), after)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	defer reader.Close()
+
+	if r.URL.Query().Get("stream") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.serveSSE(w, r, reader, int(max))
+		return
+	}
+	s.serveLongPoll(w, r, reader, int(max))
+}
+
+// serveLongPoll answers one page of results, waiting up to ?wait=
+// (default 10s, "0" = return immediately) for the first entry.
+func (s *Service) serveLongPoll(w http.ResponseWriter, r *http.Request, reader *Reader, batch int) {
+	wait := longPollDefault
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			writeError(w, errBadRequest(fmt.Sprintf("invalid %q parameter: %v", "wait", err)))
+			return
+		}
+		wait = min(max(d, 0), longPollMax)
+	}
+
+	var (
+		entries []Entry
+		dropped int64
+		done    bool
+	)
+	if wait <= 0 {
+		entries, dropped, done = reader.TryNext(batch)
+	} else {
+		// Derive from the request context so client disconnects cut the
+		// wait short.
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		var err error
+		entries, dropped, done, err = reader.Next(ctx, batch)
+		if err != nil {
+			// Timeout or client gone: an empty page is the contract.
+			entries, dropped, done = nil, 0, false
+		}
+	}
+	page := resultPage{Results: make([]resultItem, 0, len(entries)), Dropped: dropped, Done: done}
+	next := reader.Cursor()
+	for _, e := range entries {
+		page.Results = append(page.Results, resultItem{
+			Seq: e.Seq, Start: int64(e.Start), End: int64(e.End), Value: json.RawMessage(e.Data),
+		})
+	}
+	page.Next = next
+	writeJSON(w, http.StatusOK, page)
+}
+
+// serveSSE streams results as server-sent events until end-of-stream or
+// client disconnect. Frames: `event: result` with the resultItem JSON,
+// `event: shed` with {"dropped":n} when the cursor skipped evicted
+// entries, `event: done` at end-of-stream.
+func (s *Service) serveSSE(w http.ResponseWriter, r *http.Request, reader *Reader, batch int) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errBadRequest("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	for {
+		entries, dropped, done, err := reader.Next(ctx, batch)
+		if err != nil {
+			return // client went away
+		}
+		if dropped > 0 {
+			fmt.Fprintf(w, "event: shed\ndata: {\"dropped\":%d}\n\n", dropped)
+		}
+		for _, e := range entries {
+			item, _ := json.Marshal(resultItem{
+				Seq: e.Seq, Start: int64(e.Start), End: int64(e.End), Value: json.RawMessage(e.Data),
+			})
+			fmt.Fprintf(w, "id: %d\nevent: result\ndata: %s\n\n", e.Seq, item)
+		}
+		flusher.Flush()
+		if done {
+			fmt.Fprint(w, "event: done\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pipes/internal/temporal"
+)
+
+// httpFixture spins an httptest server over a fresh service.
+type httpFixture struct {
+	s   *Service
+	eng *fakeEngine
+	srv *httptest.Server
+}
+
+func newHTTPFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	s, eng := newTestService()
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return &httpFixture{s: s, eng: eng, srv: srv}
+}
+
+// do issues one authenticated request and decodes the JSON body.
+func (f *httpFixture) do(t *testing.T, method, path, token string, body any, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, f.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s %s response %q: %v", method, path, raw, err)
+		}
+	}
+	return resp
+}
+
+type errEnvelope struct {
+	Error Error `json:"error"`
+}
+
+func (f *httpFixture) fakeQueryOf(t *testing.T, id string) *fakeQuery {
+	t.Helper()
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	q, ok := f.s.queries[id]
+	if !ok {
+		t.Fatalf("no query %q", id)
+	}
+	return q.eq.(*fakeQuery)
+}
+
+func TestHTTPUnauthorized(t *testing.T) {
+	f := newHTTPFixture(t)
+	var env errEnvelope
+	resp := f.do(t, "GET", "/v1/queries", "", nil, &env)
+	if resp.StatusCode != 401 || env.Error.Code != "unauthorized" {
+		t.Fatalf("status %d, error %+v", resp.StatusCode, env.Error)
+	}
+	resp = f.do(t, "GET", "/v1/queries", "wrong-token", nil, &env)
+	if resp.StatusCode != 401 {
+		t.Fatalf("bad token status %d", resp.StatusCode)
+	}
+	// healthz is open.
+	resp = f.do(t, "GET", "/healthz", "", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPSubmitListGetKill(t *testing.T) {
+	f := newHTTPFixture(t)
+	var info QueryInfo
+	resp := f.do(t, "POST", "/v1/queries", "alice-secret",
+		map[string]any{"cql": "SELECT new=3 shared=2"}, &info)
+	if resp.StatusCode != 201 {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if info.ID == "" || info.NewOperators != 3 || info.SharedOperators != 2 || info.Tenant != "alice" {
+		t.Fatalf("submit info %+v", info)
+	}
+
+	var list struct {
+		Queries []QueryInfo `json:"queries"`
+	}
+	f.do(t, "GET", "/v1/queries", "alice-secret", nil, &list)
+	if len(list.Queries) != 1 || list.Queries[0].ID != info.ID {
+		t.Fatalf("list %+v", list)
+	}
+
+	var got QueryInfo
+	f.do(t, "GET", "/v1/queries/"+info.ID, "alice-secret", nil, &got)
+	if got.Plan != "plan(SELECT new=3 shared=2)" {
+		t.Fatalf("get %+v", got)
+	}
+
+	// bob cannot see alice's query.
+	var env errEnvelope
+	resp = f.do(t, "GET", "/v1/queries/"+info.ID, "bob-secret", nil, &env)
+	if resp.StatusCode != 404 || env.Error.Code != "unknown_query" {
+		t.Fatalf("cross-tenant get: %d %+v", resp.StatusCode, env.Error)
+	}
+
+	var final QueryInfo
+	resp = f.do(t, "DELETE", "/v1/queries/"+info.ID, "alice-secret", nil, &final)
+	if resp.StatusCode != 200 || final.Status != "killed" {
+		t.Fatalf("kill: %d %+v", resp.StatusCode, final)
+	}
+	if f.eng.liveCount() != 0 {
+		t.Fatalf("engine still live after kill")
+	}
+}
+
+func TestHTTPQuotaRejectIsStructured(t *testing.T) {
+	f := newHTTPFixture(t)
+	f.do(t, "POST", "/v1/queries", "bob-secret", map[string]any{"cql": "SELECT one"}, nil)
+	var env errEnvelope
+	resp := f.do(t, "POST", "/v1/queries", "bob-secret", map[string]any{"cql": "SELECT two"}, &env)
+	if resp.StatusCode != 429 || env.Error.Code != "quota_queries" {
+		t.Fatalf("quota reject: %d %+v", resp.StatusCode, env.Error)
+	}
+	if env.Error.Detail["limit"].(float64) != 1 {
+		t.Fatalf("detail %+v", env.Error.Detail)
+	}
+	var tenant struct {
+		AdmissionRejects int64 `json:"admission_rejects"`
+		InUse            struct {
+			Queries int `json:"queries"`
+		} `json:"in_use"`
+	}
+	f.do(t, "GET", "/v1/tenant", "bob-secret", nil, &tenant)
+	if tenant.AdmissionRejects != 1 || tenant.InUse.Queries != 1 {
+		t.Fatalf("tenant doc %+v", tenant)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	f := newHTTPFixture(t)
+	var env errEnvelope
+	resp := f.do(t, "POST", "/v1/queries", "alice-secret", map[string]any{"cql": "  "}, &env)
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty cql status %d", resp.StatusCode)
+	}
+	resp = f.do(t, "POST", "/v1/queries", "alice-secret", map[string]any{"cql": "SELECT bad"}, &env)
+	if resp.StatusCode != 422 || env.Error.Code != "invalid_query" {
+		t.Fatalf("invalid query: %d %+v", resp.StatusCode, env.Error)
+	}
+	req, _ := http.NewRequest("GET", f.srv.URL+"/v1/queries/q1/results?after=zap", nil)
+	req.Header.Set("Authorization", "Bearer alice-secret")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 400 {
+		t.Fatalf("bad after= status %d", r2.StatusCode)
+	}
+}
+
+func TestHTTPLongPollResults(t *testing.T) {
+	f := newHTTPFixture(t)
+	var info QueryInfo
+	f.do(t, "POST", "/v1/queries", "alice-secret", map[string]any{"cql": "SELECT r"}, &info)
+	fq := f.fakeQueryOf(t, info.ID)
+	for i := 0; i < 3; i++ {
+		fq.emit(map[string]any{"i": i}, temporal.Time(i))
+	}
+
+	var page resultPage
+	f.do(t, "GET", "/v1/queries/"+info.ID+"/results?wait=0", "alice-secret", nil, &page)
+	if len(page.Results) != 3 || page.Next != 3 || page.Done {
+		t.Fatalf("page %+v", page)
+	}
+	var v map[string]float64
+	if err := json.Unmarshal(page.Results[2].Value, &v); err != nil || v["i"] != 2 {
+		t.Fatalf("value %s: %v", page.Results[2].Value, err)
+	}
+
+	// Resume from the cursor: nothing new yet.
+	var page2 resultPage
+	f.do(t, "GET", fmt.Sprintf("/v1/queries/%s/results?wait=0&after=%d", info.ID, page.Next),
+		"alice-secret", nil, &page2)
+	if len(page2.Results) != 0 {
+		t.Fatalf("resumed page %+v", page2)
+	}
+
+	// A waiting poll wakes on delivery.
+	type res struct {
+		page resultPage
+	}
+	ch := make(chan res, 1)
+	go func() {
+		var p resultPage
+		f.do(t, "GET", fmt.Sprintf("/v1/queries/%s/results?wait=5s&after=%d", info.ID, page.Next),
+			"alice-secret", nil, &p)
+		ch <- res{p}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fq.emit(map[string]any{"i": 3}, 3)
+	select {
+	case got := <-ch:
+		if len(got.page.Results) != 1 || got.page.Results[0].Seq != 4 {
+			t.Fatalf("long-poll page %+v", got.page)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+
+	// End of stream flips done.
+	fq.finish()
+	var page3 resultPage
+	f.do(t, "GET", fmt.Sprintf("/v1/queries/%s/results?wait=0&after=4", info.ID),
+		"alice-secret", nil, &page3)
+	if !page3.Done {
+		t.Fatalf("final page %+v", page3)
+	}
+}
+
+func TestHTTPSSEStream(t *testing.T) {
+	f := newHTTPFixture(t)
+	var info QueryInfo
+	f.do(t, "POST", "/v1/queries", "alice-secret", map[string]any{"cql": "SELECT sse"}, &info)
+	fq := f.fakeQueryOf(t, info.ID)
+	fq.emit("first", 1)
+
+	req, _ := http.NewRequest("GET", f.srv.URL+"/v1/queries/"+info.ID+"/results?stream=sse", nil)
+	req.Header.Set("Authorization", "Bearer alice-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "event: ") {
+				events <- strings.TrimPrefix(line, "event: ")
+			}
+		}
+		close(events)
+	}()
+	expect := func(want string) {
+		t.Helper()
+		select {
+		case got, ok := <-events:
+			if !ok || got != want {
+				t.Fatalf("event %q (ok=%v), want %q", got, ok, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %q", want)
+		}
+	}
+	expect("result")
+	fq.emit("second", 2)
+	expect("result")
+	fq.finish()
+	expect("done")
+}
+
+// TestHTTPStalledConsumerSheds is the unit-level half of satellite 3: a
+// stalled SSE client's buffer overflows, results are shed and counted,
+// and the delivery path never blocks (all emits return immediately).
+func TestHTTPStalledConsumerSheds(t *testing.T) {
+	f := newHTTPFixture(t)
+	var info QueryInfo
+	// A tiny buffer: a handful of 1KB results overflow it.
+	f.do(t, "POST", "/v1/queries", "alice-secret",
+		map[string]any{"cql": "SELECT stall", "buffer_bytes": 4096}, &info)
+	fq := f.fakeQueryOf(t, info.ID)
+
+	// Attach an SSE consumer that never reads past the first response
+	// bytes: the reader holds a cursor but drains nothing.
+	req, _ := http.NewRequest("GET", f.srv.URL+"/v1/queries/"+info.ID+"/results?stream=sse", nil)
+	req.Header.Set("Authorization", "Bearer alice-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Wait until the reader is attached.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := f.s.Get("alice", info.ID)
+		if got.Readers == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SSE reader never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Flood: every emit returns immediately (the graph is never blocked)
+	// and the overflow is shed.
+	// 4000 × ~1KB ≫ anything loopback TCP buffering can absorb, so the
+	// SSE writer is guaranteed to stall behind the unread client.
+	pad := strings.Repeat("x", 1024)
+	const n = 4000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fq.emit(map[string]any{"i": i, "pad": pad}, temporal.Time(i))
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("emits blocked: %d results took %v", n, elapsed)
+	}
+
+	got, _ := f.s.Get("alice", info.ID)
+	if got.Results != n {
+		t.Fatalf("delivered %d of %d results", got.Results, n)
+	}
+	if got.Shed == 0 {
+		t.Fatal("stalled consumer shed nothing")
+	}
+	st := tenantStatsFor(t, f.s, "alice")
+	if st.ResultShed != got.Shed {
+		t.Fatalf("tenant shed %d != query shed %d", st.ResultShed, got.Shed)
+	}
+}

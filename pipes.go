@@ -32,6 +32,7 @@ import (
 	"pipes/internal/optimizer"
 	"pipes/internal/pubsub"
 	"pipes/internal/sched"
+	"pipes/internal/service"
 	"pipes/internal/telemetry"
 	"pipes/internal/telemetry/flight"
 	"pipes/internal/temporal"
@@ -142,6 +143,19 @@ type Config struct {
 	// = every round full, chains disabled). See FAULT_TOLERANCE.md's
 	// delta-chain section.
 	CheckpointBaseEvery int
+	// ServiceTenants enables the multi-tenant continuous-query service
+	// (SERVICE.md): an HTTP control plane where the listed tenants submit
+	// CQL into the running shared graph, stream results and kill queries,
+	// under token authn and per-tenant admission quotas. The API is
+	// mounted under /v1/ on the telemetry endpoint (when TelemetryAddr is
+	// set) and on the dedicated ServiceAddr listener.
+	ServiceTenants []TenantConfig
+	// ServiceAddr, when non-empty, serves the control plane on its own
+	// host:port once Start runs (":0" picks a free port; see
+	// ServiceAddr() for the bound address). Useful when the service
+	// should be reachable separately from the operator-facing telemetry
+	// endpoint.
+	ServiceAddr string
 	// FlightEvents sizes the flight recorder's system-event ring (0 =
 	// default 4096 events, rounded up to a power of two). The recorder is
 	// always on — see internal/telemetry/flight and OBSERVABILITY.md —
@@ -187,6 +201,10 @@ type DSMS struct {
 	started   bool
 	tserver   *telemetry.Server
 	telemetry bool
+
+	// Control plane (service.go; nil unless Config enables it).
+	service *service.Service
+	sserver *svcServer
 }
 
 // Query is one registered continuous query.
@@ -254,6 +272,7 @@ func NewDSMS(cfg Config) *DSMS {
 	if d.Checkpoints != nil && d.Flight != nil {
 		d.Checkpoints.SetFlightRecorder(d.Flight)
 	}
+	d.initService()
 	d.registerExports()
 	return d
 }
@@ -283,11 +302,20 @@ func (d *DSMS) RegisterStream(name string, src pubsub.Source, rate float64) {
 // manager; with MonitorQueries set they are wrapped in metadata
 // decorators (retrievable via Monitors).
 func (d *DSMS) RegisterQuery(text string) (*Query, error) {
+	return d.RegisterQueryAdmitted(text, nil)
+}
+
+// RegisterQueryAdmitted is RegisterQuery with an admission gate: after
+// planning but before any physical operator is built, admit (if
+// non-nil) sees the would-be created/reused node counts and may abort
+// the registration with the graph untouched — the quota seam of the
+// multi-tenant service (SERVICE.md).
+func (d *DSMS) RegisterQueryAdmitted(text string, admit optimizer.Admission) (*Query, error) {
 	parsed, err := cql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
-	inst, err := d.Optimizer.AddQuery(parsed)
+	inst, err := d.Optimizer.AddQueryAdmitted(parsed, admit)
 	if err != nil {
 		return nil, err
 	}
@@ -394,6 +422,9 @@ func (d *DSMS) Start() {
 	if err := d.startTelemetry(); err != nil {
 		panic(fmt.Sprintf("pipes: telemetry endpoint: %v", err))
 	}
+	if err := d.startService(); err != nil {
+		panic(fmt.Sprintf("pipes: service endpoint: %v", err))
+	}
 	if d.Checkpoints != nil {
 		d.Checkpoints.Start(d.cfg.CheckpointInterval)
 	}
@@ -419,9 +450,14 @@ func (d *DSMS) Stop() {
 	d.mu.Lock()
 	srv := d.tserver
 	d.tserver = nil
+	ssrv := d.sserver
+	d.sserver = nil
 	d.mu.Unlock()
 	if srv != nil {
 		_ = srv.Close()
+	}
+	if ssrv != nil {
+		_ = ssrv.Close()
 	}
 }
 

@@ -1,0 +1,348 @@
+package pipes
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipes/internal/telemetry"
+)
+
+// The acceptance scenario of SERVICE.md: two tenants drive the HTTP
+// control plane against one running shared graph — concurrent submits
+// of overlapping CQL share physical operators, each tenant streams its
+// own projection, one tenant's kill does not disturb the other, and a
+// tenant at quota is rejected with a structured 4xx and no graph
+// change.
+
+type svcQueryDoc struct {
+	ID              string `json:"id"`
+	Tenant          string `json:"tenant"`
+	Status          string `json:"status"`
+	NewOperators    int    `json:"new_operators"`
+	SharedOperators int    `json:"shared_operators"`
+	Results         int64  `json:"results"`
+	Shed            int64  `json:"shed"`
+	Readers         int    `json:"readers"`
+}
+
+type svcResultPage struct {
+	Results []struct {
+		Seq   uint64          `json:"seq"`
+		Value json.RawMessage `json:"value"`
+	} `json:"results"`
+	Dropped int64  `json:"dropped"`
+	Next    uint64 `json:"next"`
+	Done    bool   `json:"done"`
+}
+
+type svcErrDoc struct {
+	Error struct {
+		Code    string         `json:"code"`
+		Message string         `json:"message"`
+		Detail  map[string]any `json:"detail"`
+	} `json:"error"`
+}
+
+// svcDo issues one authenticated control-plane request.
+func svcDo(t *testing.T, method, url, token string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s %s -> %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// svcCollect long-polls a query's results from cursor `after` until
+// pred is satisfied or the deadline passes, returning every decoded
+// value seen.
+func svcCollect(t *testing.T, base, token, id string, values *[]map[string]any, pred func() bool) {
+	t.Helper()
+	after := uint64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out collecting results for %s (%d so far)", id, len(*values))
+		}
+		var page svcResultPage
+		url := fmt.Sprintf("%s/v1/queries/%s/results?wait=500ms&after=%d", base, id, after)
+		if code := svcDo(t, "GET", url, token, nil, &page); code != 200 {
+			t.Fatalf("results poll status %d", code)
+		}
+		for _, r := range page.Results {
+			var v map[string]any
+			if err := json.Unmarshal(r.Value, &v); err != nil {
+				t.Fatalf("bad value %q: %v", r.Value, err)
+			}
+			*values = append(*values, v)
+		}
+		after = page.Next
+	}
+}
+
+func TestServiceEndToEndTwoTenants(t *testing.T) {
+	ch := make(chan Element, 4096)
+	dsms := NewDSMS(Config{
+		Workers:       1,
+		TelemetryAddr: "127.0.0.1:0",
+		ServiceAddr:   "127.0.0.1:0",
+		ServiceTenants: []TenantConfig{
+			{Name: "alice", Token: "alice-secret", Quota: TenantQuota{MaxQueries: 4}},
+			{Name: "bob", Token: "bob-secret", Quota: TenantQuota{MaxQueries: 1}},
+		},
+	})
+	dsms.RegisterStream("s", NewChanSource("s", ch), 1000)
+	dsms.Start()
+	defer dsms.Stop()
+	base := "http://" + dsms.ServiceAddr()
+
+	// Concurrent submits of overlapping queries: same scan, window and
+	// filter, different projections.
+	var wg sync.WaitGroup
+	var infoA, infoB svcQueryDoc
+	var codeA, codeB int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		codeA = svcDo(t, "POST", base+"/v1/queries", "alice-secret",
+			map[string]any{"cql": `SELECT a, price FROM s [RANGE 100] WHERE price > 500`}, &infoA)
+	}()
+	go func() {
+		defer wg.Done()
+		codeB = svcDo(t, "POST", base+"/v1/queries", "bob-secret",
+			map[string]any{"cql": `SELECT a FROM s [RANGE 100] WHERE price > 500`}, &infoB)
+	}()
+	wg.Wait()
+	if codeA != 201 || codeB != 201 {
+		t.Fatalf("submit codes %d, %d", codeA, codeB)
+	}
+	if shared := infoA.SharedOperators + infoB.SharedOperators; shared == 0 {
+		t.Fatalf("overlapping queries shared no operators (alice %+v, bob %+v)", infoA, infoB)
+	}
+
+	// Feed: 12 qualifying readings (price > 500) interleaved with noise.
+	now := Time(1)
+	for i := 0; i < 12; i++ {
+		ch <- At(Tuple{"a": int64(i % 3), "price": float64(501 + i)}, now)
+		now++
+		ch <- At(Tuple{"a": int64(i % 3), "price": float64(100 + i)}, now)
+		now++
+	}
+
+	// Both tenants stream their own projection of the shared subplan.
+	var aliceVals, bobVals []map[string]any
+	svcCollect(t, base, "alice-secret", infoA.ID, &aliceVals, func() bool { return len(aliceVals) >= 12 })
+	svcCollect(t, base, "bob-secret", infoB.ID, &bobVals, func() bool { return len(bobVals) >= 12 })
+	for _, v := range aliceVals {
+		price, ok := v["price"].(float64)
+		if !ok || price <= 500 {
+			t.Fatalf("alice received non-qualifying result %v", v)
+		}
+		if _, ok := v["a"]; !ok {
+			t.Fatalf("alice result missing a: %v", v)
+		}
+	}
+	for _, v := range bobVals {
+		if _, hasPrice := v["price"]; hasPrice {
+			t.Fatalf("bob's projection leaked price: %v", v)
+		}
+		if _, ok := v["a"]; !ok {
+			t.Fatalf("bob result missing a: %v", v)
+		}
+	}
+
+	// bob is at quota (MaxQueries 1): a second submit is a structured
+	// 429 and the graph is untouched.
+	opsBefore := dsms.Optimizer.OperatorCount()
+	var errDoc svcErrDoc
+	code := svcDo(t, "POST", base+"/v1/queries", "bob-secret",
+		map[string]any{"cql": `SELECT price FROM s [ROWS 50]`}, &errDoc)
+	if code != 429 || errDoc.Error.Code != "quota_queries" {
+		t.Fatalf("quota reject: %d %+v", code, errDoc.Error)
+	}
+	if errDoc.Error.Detail["limit"].(float64) != 1 {
+		t.Fatalf("quota detail %+v", errDoc.Error.Detail)
+	}
+	if got := dsms.Optimizer.OperatorCount(); got != opsBefore {
+		t.Fatalf("rejected submit changed the graph: %d -> %d operators", opsBefore, got)
+	}
+
+	// Killing alice's query must not disturb bob's.
+	var killed svcQueryDoc
+	if code := svcDo(t, "DELETE", base+"/v1/queries/"+infoA.ID, "alice-secret", nil, &killed); code != 200 {
+		t.Fatalf("kill status %d", code)
+	}
+	if killed.Status != "killed" {
+		t.Fatalf("kill doc %+v", killed)
+	}
+	if got := dsms.Optimizer.OperatorCount(); got >= opsBefore {
+		t.Fatalf("kill released no operators: %d of %d", got, opsBefore)
+	}
+	for i := 0; i < 4; i++ {
+		ch <- At(Tuple{"a": int64(99), "price": float64(900)}, now)
+		now++
+	}
+	svcCollect(t, base, "bob-secret", infoB.ID, &bobVals, func() bool {
+		for _, v := range bobVals {
+			if a, ok := v["a"].(float64); ok && a == 99 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The per-tenant metric families are scraped on the telemetry
+	// endpoint, and the control plane is mounted there under /v1/ too.
+	metricsURL := "http://" + dsms.TelemetryAddr() + "/metrics"
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := telemetry.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		name, tenant string
+		value        float64
+	}{
+		{"pipes_tenant_queries", "bob", 1},
+		{"pipes_tenant_queries", "alice", 0},
+		{"pipes_tenant_admission_rejects", "bob", 1},
+	} {
+		found := false
+		for _, m := range metrics {
+			if m.Name == want.name && m.Label("tenant") == want.tenant {
+				found = true
+				if m.Value != want.value {
+					t.Errorf("%s{tenant=%q} = %v, want %v", want.name, want.tenant, m.Value, want.value)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("metrics missing %s{tenant=%q}", want.name, want.tenant)
+		}
+	}
+	var list struct {
+		Queries []svcQueryDoc `json:"queries"`
+	}
+	if code := svcDo(t, "GET", "http://"+dsms.TelemetryAddr()+"/v1/queries", "bob-secret", nil, &list); code != 200 {
+		t.Fatalf("telemetry-mounted /v1/ status %d", code)
+	}
+	if len(list.Queries) != 1 || list.Queries[0].ID != infoB.ID {
+		t.Fatalf("telemetry-mounted list %+v", list)
+	}
+
+	close(ch)
+	dsms.Wait()
+}
+
+// TestServiceSlowSSEConsumerSheds is satellite 3's facade-level half: a
+// stalled SSE client behind a tiny result buffer sheds (bounded loss,
+// counted in pipes_tenant_result_shed) while the graph delivers every
+// element unimpeded — a slow remote consumer never backpressures the
+// shared graph.
+func TestServiceSlowSSEConsumerSheds(t *testing.T) {
+	ch := make(chan Element, 8192)
+	dsms := NewDSMS(Config{
+		ServiceAddr: "127.0.0.1:0",
+		ServiceTenants: []TenantConfig{
+			{Name: "alice", Token: "alice-secret"},
+		},
+	})
+	dsms.RegisterStream("s", NewChanSource("s", ch), 1000)
+	dsms.Start()
+	defer dsms.Stop()
+	base := "http://" + dsms.ServiceAddr()
+
+	var info svcQueryDoc
+	code := svcDo(t, "POST", base+"/v1/queries", "alice-secret",
+		map[string]any{"cql": `SELECT pad FROM s [NOW]`, "buffer_bytes": 4096}, &info)
+	if code != 201 {
+		t.Fatalf("submit status %d", code)
+	}
+
+	// An SSE consumer that never reads its body: the server-side writer
+	// stalls once TCP buffering is exhausted, pinning the reader cursor.
+	req, _ := http.NewRequest("GET", base+"/v1/queries/"+info.ID+"/results?stream=sse", nil)
+	req.Header.Set("Authorization", "Bearer alice-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		var doc svcQueryDoc
+		svcDo(t, "GET", base+"/v1/queries/"+info.ID, "alice-secret", nil, &doc)
+		return doc.Readers == 1
+	})
+
+	// Flood well past what the 4KB buffer and loopback TCP can hold.
+	const n = 4000
+	pad := strings.Repeat("x", 1024)
+	for i := 0; i < n; i++ {
+		ch <- At(Tuple{"pad": pad, "i": int64(i)}, Time(i+1))
+	}
+	close(ch)
+	dsms.Wait()
+
+	var doc svcQueryDoc
+	waitFor(t, 10*time.Second, func() bool {
+		svcDo(t, "GET", base+"/v1/queries/"+info.ID, "alice-secret", nil, &doc)
+		return doc.Results == n
+	})
+	if doc.Shed == 0 {
+		t.Fatalf("stalled consumer shed nothing: %+v", doc)
+	}
+
+	var buf bytes.Buffer
+	if err := dsms.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `pipes_tenant_result_shed{tenant="alice"}`) {
+		t.Fatalf("pipes_tenant_result_shed not exported:\n%s", buf.String())
+	}
+}
+
+// waitFor polls cond until true or the deadline fails the test.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -285,6 +285,11 @@ func (d *DSMS) newTelemetryServer() *telemetry.Server {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(d.Bottleneck())
 	})
+	// With the continuous-query service enabled, its API shares the
+	// operator-facing endpoint under /v1/ (SERVICE.md).
+	if d.service != nil {
+		srv.Handle("/v1/", d.service.Handler().ServeHTTP)
+	}
 	return srv
 }
 
